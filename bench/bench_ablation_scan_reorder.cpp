@@ -1,0 +1,41 @@
+// Ablation (flow step 3): layout-driven scan chain reordering on/off.
+// Reordering assigns scan cells to chains by placement region and orders
+// them with a nearest-neighbour tour, minimising scan routing (§3.2).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace tpi;
+  using namespace tpi::bench;
+  setup_logging();
+
+  std::printf("=== Ablation: layout-driven scan chain reordering ===\n\n");
+
+  const auto lib = make_phl130_library();
+  TextTable table({"circuit", "reorder", "scan wire(um)", "total wire(um)", "saved(%)"});
+  for (const CircuitProfile& profile : bench_profiles()) {
+    double base_scan = 0.0;
+    for (const bool reorder : {false, true}) {
+      FlowOptions opts;
+      opts.layout_driven_reorder = reorder;
+      opts.run_atpg = false;
+      opts.run_sta = false;
+      std::fprintf(stderr, "[bench] %s reorder=%d...\n", profile.name.c_str(), reorder);
+      const FlowResult r = run_flow(*lib, profile, opts);
+      if (!reorder) base_scan = r.scan_wire_length_um;
+      table.add_row({profile.name, reorder ? "on" : "off",
+                     fmt_int(static_cast<long long>(r.scan_wire_length_um)),
+                     fmt_int(static_cast<long long>(r.wire_length_um)),
+                     reorder ? fmt_fixed(100.0 * (base_scan - r.scan_wire_length_um) /
+                                             base_scan,
+                                         1)
+                             : std::string("-")});
+    }
+    table.add_separator();
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Step 3 of the paper's flow exists precisely because netlist-order\n"
+              "stitching wastes wirelength: \"scan flip-flops are assigned to scan\n"
+              "chains using cell placement information, such that the wire length\n"
+              "for the scan chains is minimized.\"\n");
+  return 0;
+}

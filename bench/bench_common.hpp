@@ -1,0 +1,98 @@
+// Shared driver for the paper-reproduction benches: runs the Fig. 2 flow on
+// the three §4.1 circuits across 0-5% test points and formats rows in the
+// layout of the paper's tables.
+//
+// Environment:
+//   TPI_BENCH_SCALE   scale factor applied to every circuit profile
+//                     (default 1.0 = paper-sized; use e.g. 0.2 for smoke runs)
+//   TPI_BENCH_VERBOSE set to any value for progress logging on stderr
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "circuits/profiles.hpp"
+#include "flow/flow.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace tpi::bench {
+
+inline double bench_scale() {
+  const char* env = std::getenv("TPI_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+inline void setup_logging() {
+  set_log_level(std::getenv("TPI_BENCH_VERBOSE") != nullptr ? LogLevel::kInfo
+                                                            : LogLevel::kWarn);
+}
+
+/// The paper's sweep: 0%, 1%, ..., 5% test points (§4.1).
+inline const std::vector<double>& tp_percentages() {
+  static const std::vector<double> kPercent{0.0, 1.0, 2.0, 3.0, 4.0, 5.0};
+  return kPercent;
+}
+
+/// Circuit profiles at the configured scale.
+inline std::vector<CircuitProfile> bench_profiles() {
+  std::vector<CircuitProfile> out;
+  for (const CircuitProfile& p : paper_profiles()) {
+    if (bench_scale() == 1.0) {
+      out.push_back(p);
+    } else {
+      CircuitProfile s = scaled(p, bench_scale());
+      s.name = p.name;  // keep the paper's circuit names in the tables
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+struct SweepResult {
+  CircuitProfile profile;
+  std::vector<FlowResult> runs;  ///< aligned with tp_percentages()
+};
+
+/// Run the full sweep for one circuit. The netlist is regenerated and laid
+/// out from scratch for every test-point count, exactly as in §4.1.
+inline SweepResult run_sweep(const CircuitProfile& profile, bool with_atpg,
+                             bool with_sta,
+                             const std::vector<double>& percentages = tp_percentages()) {
+  SweepResult out;
+  out.profile = profile;
+  const auto lib = make_phl130_library();
+  for (const double pct : percentages) {
+    FlowOptions opts;
+    opts.tp_percent = pct;
+    opts.run_atpg = with_atpg;
+    opts.run_sta = with_sta;
+    std::fprintf(stderr, "[bench] %s @ %.0f%% test points...\n", profile.name.c_str(), pct);
+    out.runs.push_back(run_flow(*lib, profile, opts));
+  }
+  return out;
+}
+
+/// "x.xx" percentage change relative to the 0% row ("-" for the base row).
+inline std::string delta_pct(double value, double base, bool first_row) {
+  if (first_row || base == 0.0) return "-";
+  return fmt_fixed(100.0 * (value - base) / base, 2);
+}
+
+/// Linearity check used for the §4.3/§4.4 "increases nearly linearly"
+/// claims: least-squares R^2 of metric vs #test points.
+inline LinearFit linearity(const SweepResult& sweep, double (*metric)(const FlowResult&)) {
+  std::vector<double> x, y;
+  for (const FlowResult& r : sweep.runs) {
+    x.push_back(static_cast<double>(r.num_test_points));
+    y.push_back(metric(r));
+  }
+  return fit_linear(x, y);
+}
+
+}  // namespace tpi::bench

@@ -1,0 +1,39 @@
+// Reproduces the paper's headline claim (abstract / §6): "inserting 1% test
+// points in general increases the silicon area after layout by less than
+// 0.5% while the performance of the circuit may be reduced by 5% or more",
+// and both area and critical-path delay grow nearly linearly with #TP.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace tpi;
+  using namespace tpi::bench;
+  setup_logging();
+
+  std::printf("=== Headline: 1%% test points vs silicon area and performance ===\n\n");
+
+  TextTable table({"circuit", "chip @1%TP(%)", "chip @5%TP(%)", "Tcp @1%TP(%)",
+                   "Tcp @5%TP(%)", "area R^2", "Tcp R^2"});
+  for (const CircuitProfile& profile : bench_profiles()) {
+    const SweepResult sweep = run_sweep(profile, /*with_atpg=*/false, /*with_sta=*/true);
+    const FlowResult& base = sweep.runs.front();
+    auto pct = [&](double now, double then) { return 100.0 * (now - then) / then; };
+    const LinearFit area_fit =
+        linearity(sweep, [](const FlowResult& r) { return r.chip_area_um2; });
+    const LinearFit tcp_fit =
+        linearity(sweep, [](const FlowResult& r) { return r.sta.worst.t_cp_ps; });
+    table.add_row(
+        {profile.name,
+         fmt_fixed(pct(sweep.runs[1].chip_area_um2, base.chip_area_um2), 2),
+         fmt_fixed(pct(sweep.runs[5].chip_area_um2, base.chip_area_um2), 2),
+         fmt_fixed(pct(sweep.runs[1].sta.worst.t_cp_ps, base.sta.worst.t_cp_ps), 2),
+         fmt_fixed(pct(sweep.runs[5].sta.worst.t_cp_ps, base.sta.worst.t_cp_ps), 2),
+         fmt_fixed(area_fit.r_squared, 3), fmt_fixed(tcp_fit.r_squared, 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape (§6): chip-area cost of 1%% TP below ~0.5%%; delay cost\n"
+      "noisier, possibly >=5%% (layouts are regenerated from scratch, so both\n"
+      "signs occur at a single point while the trend over 0-5%% is upward and\n"
+      "nearly linear — high R^2 on the area fit, looser on delay).\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// google-benchmark kernels for the flow's hot paths: testability analysis,
+// fault simulation, PODEM, placement and STA. These guard the performance
+// envelope that keeps the full Tables 1-3 sweeps tractable.
+#include <benchmark/benchmark.h>
+
+#include "atpg/atpg.hpp"
+#include "atpg/fault_sim.hpp"
+#include "circuits/generator.hpp"
+#include "extraction/extraction.hpp"
+#include "layout/placement.hpp"
+#include "layout/routing.hpp"
+#include "scan/scan.hpp"
+#include "sta/sta.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tpi;
+
+CircuitProfile micro_profile() {
+  CircuitProfile p = scaled(s38417_profile(), 0.15);
+  p.name = "micro";
+  return p;
+}
+
+const CellLibrary& lib() {
+  static const std::unique_ptr<CellLibrary> l = make_phl130_library();
+  return *l;
+}
+
+const Netlist& scan_netlist() {
+  static const std::unique_ptr<Netlist> nl = [] {
+    auto n = generate_circuit(lib(), micro_profile());
+    ScanOptions so;
+    so.max_chain_length = 100;
+    insert_scan(*n, so);
+    return n;
+  }();
+  return *nl;
+}
+
+void BM_GenerateCircuit(benchmark::State& state) {
+  for (auto _ : state) {
+    auto nl = generate_circuit(lib(), micro_profile());
+    benchmark::DoNotOptimize(nl->num_cells());
+  }
+}
+BENCHMARK(BM_GenerateCircuit)->Unit(benchmark::kMillisecond);
+
+void BM_TestabilityAnalysis(benchmark::State& state) {
+  const CombModel model(scan_netlist(), SeqView::kCapture);
+  for (auto _ : state) {
+    const TestabilityResult t = analyze_testability(model);
+    benchmark::DoNotOptimize(t.p1.size());
+  }
+}
+BENCHMARK(BM_TestabilityAnalysis)->Unit(benchmark::kMillisecond);
+
+void BM_GoodSimulationBatch(benchmark::State& state) {
+  const CombModel model(scan_netlist(), SeqView::kCapture);
+  ParallelSim sim(model);
+  Rng rng(1);
+  std::vector<Word> words(model.input_nets().size());
+  for (auto _ : state) {
+    for (auto& w : words) w = rng.next_u64();
+    sim.load_inputs(words);
+    sim.run();
+    benchmark::DoNotOptimize(sim.values().back());
+  }
+}
+BENCHMARK(BM_GoodSimulationBatch)->Unit(benchmark::kMicrosecond);
+
+void BM_FaultSimulationBatch(benchmark::State& state) {
+  const CombModel model(scan_netlist(), SeqView::kCapture);
+  FaultSimulator fsim(model);
+  FaultList fl = build_fault_list(model);
+  Rng rng(2);
+  std::vector<Word> words(model.input_nets().size());
+  for (auto& w : words) w = rng.next_u64();
+  fsim.load_batch(words);
+  // Grade a rotating window of faults per iteration.
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    Word acc = 0;
+    for (int i = 0; i < 256; ++i) {
+      acc |= fsim.detects(fl.faults[cursor]);
+      cursor = (cursor + 1) % fl.faults.size();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_FaultSimulationBatch)->Unit(benchmark::kMicrosecond);
+
+void BM_PodemPerFault(benchmark::State& state) {
+  const CombModel model(scan_netlist(), SeqView::kCapture);
+  const TestabilityResult t = analyze_testability(model);
+  FaultList fl = build_fault_list(model);
+  Podem podem(model, t, {});
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    while (fl.faults[cursor].status == FaultStatus::kScanTested) {
+      cursor = (cursor + 1) % fl.faults.size();
+    }
+    benchmark::DoNotOptimize(podem.generate(fl.faults[cursor]).outcome);
+    cursor = (cursor + 1) % fl.faults.size();
+  }
+}
+BENCHMARK(BM_PodemPerFault)->Unit(benchmark::kMicrosecond);
+
+void BM_GlobalPlacement(benchmark::State& state) {
+  const Netlist& nl = scan_netlist();
+  const Floorplan fp = make_floorplan(nl, {});
+  for (auto _ : state) {
+    const Placement pl = place(nl, fp, {});
+    benchmark::DoNotOptimize(pl.row_used_um.size());
+  }
+}
+BENCHMARK(BM_GlobalPlacement)->Unit(benchmark::kMillisecond);
+
+void BM_GlobalRouting(benchmark::State& state) {
+  const Netlist& nl = scan_netlist();
+  const Floorplan fp = make_floorplan(nl, {});
+  const Placement pl = place(nl, fp, {});
+  for (auto _ : state) {
+    const RoutingResult r = route(nl, fp, pl);
+    benchmark::DoNotOptimize(r.total_wire_length_um);
+  }
+}
+BENCHMARK(BM_GlobalRouting)->Unit(benchmark::kMillisecond);
+
+void BM_StaFullPass(benchmark::State& state) {
+  const Netlist& nl = scan_netlist();
+  const Floorplan fp = make_floorplan(nl, {});
+  const Placement pl = place(nl, fp, {});
+  const RoutingResult routes = route(nl, fp, pl);
+  const ExtractionResult px = extract(nl, routes);
+  for (auto _ : state) {
+    const StaResult sta = run_sta(nl, px);
+    benchmark::DoNotOptimize(sta.worst.t_cp_ps);
+  }
+}
+BENCHMARK(BM_StaFullPass)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

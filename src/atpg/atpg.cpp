@@ -1,0 +1,191 @@
+#include "atpg/atpg.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "atpg/fault_sim.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace tpi {
+namespace {
+
+// Pack up to 64 patterns (one per bit) into per-input words.
+void pack_batch(const std::vector<const TestPattern*>& batch, std::size_t num_inputs,
+                std::vector<Word>& words) {
+  words.assign(num_inputs, 0);
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    const auto& bits = batch[k]->bits;
+    for (std::size_t i = 0; i < num_inputs; ++i) {
+      words[i] |= static_cast<Word>(bits[i] & 1) << k;
+    }
+  }
+}
+
+std::vector<Fault*> live_faults(FaultList& list) {
+  std::vector<Fault*> out;
+  out.reserve(list.faults.size());
+  for (Fault& f : list.faults) {
+    if (f.status != FaultStatus::kDetected && f.status != FaultStatus::kScanTested) {
+      out.push_back(&f);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability,
+                    const AtpgOptions& opts) {
+  AtpgResult res;
+  res.faults = build_fault_list(model);
+  res.total_faults = res.faults.total_uncollapsed;
+
+  FaultSimulator fsim(model);
+  Podem podem(model, testability, opts.podem);
+  Rng rng(opts.seed);
+  const std::size_t num_inputs = model.input_nets().size();
+
+  auto simulate_and_drop = [&](const std::vector<const TestPattern*>& batch) {
+    std::vector<Word> words;
+    pack_batch(batch, num_inputs, words);
+    fsim.load_batch(words);
+    auto live = live_faults(res.faults);
+    fsim.drop_detected(live);
+  };
+
+  // ---- phase 1: pseudo-random warm-up ----
+  for (int b = 0; b < opts.random_batches; ++b) {
+    std::vector<TestPattern> batch(kWordBits);
+    for (auto& p : batch) {
+      p.bits.resize(num_inputs);
+      for (auto& bit : p.bits) bit = static_cast<std::uint8_t>(rng.next_bool() ? 1 : 0);
+    }
+    const std::int64_t before = res.faults.count_equiv(FaultStatus::kUndetected);
+    std::vector<const TestPattern*> refs;
+    for (const auto& p : batch) refs.push_back(&p);
+    simulate_and_drop(refs);
+    const std::int64_t after = res.faults.count_equiv(FaultStatus::kUndetected);
+    for (auto& p : batch) res.patterns.push_back(std::move(p));
+    if (before - after < opts.random_min_yield) break;
+  }
+
+  // ---- phase 2: deterministic PODEM with dynamic compaction ----
+  // Targets ordered hardest-first (lowest COP detection probability): hard
+  // faults anchor patterns whose random fill then sweeps up easy faults.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < res.faults.faults.size(); ++i) {
+    if (res.faults.faults[i].status == FaultStatus::kUndetected) order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Fault& fa = res.faults.faults[a];
+    const Fault& fb = res.faults.faults[b];
+    const float pa = fa.stuck1 ? testability.detect_prob_sa0(fa.net)
+                               : testability.detect_prob_sa1(fa.net);
+    const float pb = fb.stuck1 ? testability.detect_prob_sa0(fb.net)
+                               : testability.detect_prob_sa1(fb.net);
+    return pa < pb;
+  });
+
+  std::size_t pos = 0;
+  while (pos < order.size() &&
+         static_cast<int>(res.patterns.size()) < opts.max_patterns) {
+    std::vector<TestPattern> batch;
+    while (batch.size() < kWordBits && pos < order.size()) {
+      Fault& f = res.faults.faults[order[pos++]];
+      if (f.status != FaultStatus::kUndetected) continue;
+      ++res.podem_calls;
+      const PodemResult pr = podem.generate(f);
+      if (pr.outcome == PodemOutcome::kRedundant) {
+        f.status = FaultStatus::kRedundant;
+        continue;
+      }
+      if (pr.outcome == PodemOutcome::kAborted) {
+        f.status = FaultStatus::kAborted;
+        ++res.podem_aborts;
+        continue;
+      }
+      TestPattern p;
+      p.bits.resize(num_inputs);
+      for (std::size_t i = 0; i < num_inputs; ++i) {
+        const Tern t = pr.cube[i];
+        p.bits[i] = t == Tern::kX ? static_cast<std::uint8_t>(rng.next_bool() ? 1 : 0)
+                                  : static_cast<std::uint8_t>(t == Tern::k1 ? 1 : 0);
+      }
+      batch.push_back(std::move(p));
+    }
+    if (batch.empty()) continue;
+    std::vector<const TestPattern*> refs;
+    for (const auto& p : batch) refs.push_back(&p);
+    simulate_and_drop(refs);
+    for (auto& p : batch) res.patterns.push_back(std::move(p));
+  }
+  res.patterns_before_compaction = static_cast<int>(res.patterns.size());
+
+  // ---- phase 3: reverse-order static compaction ----
+  if (opts.static_compaction && !res.patterns.empty()) {
+    for (Fault& f : res.faults.faults) {
+      if (f.status == FaultStatus::kDetected) f.status = FaultStatus::kUndetected;
+    }
+    std::vector<char> keep(res.patterns.size(), 0);
+    const std::size_t n = res.patterns.size();
+    std::size_t processed = 0;
+    while (processed < n) {
+      const std::size_t count = std::min<std::size_t>(kWordBits, n - processed);
+      // Bit k of the batch = pattern (n-1-processed-k): reverse order.
+      std::vector<const TestPattern*> refs;
+      std::vector<std::size_t> ids;
+      for (std::size_t k = 0; k < count; ++k) {
+        const std::size_t idx = n - 1 - processed - k;
+        refs.push_back(&res.patterns[idx]);
+        ids.push_back(idx);
+      }
+      std::vector<Word> words;
+      pack_batch(refs, num_inputs, words);
+      fsim.load_batch(words);
+      for (Fault& f : res.faults.faults) {
+        if (f.status == FaultStatus::kDetected || f.status == FaultStatus::kScanTested) continue;
+        const Word d = fsim.detects(f);
+        if (d == 0) continue;
+        f.status = FaultStatus::kDetected;
+        const int first = std::countr_zero(d);
+        keep[ids[static_cast<std::size_t>(first)]] = 1;
+      }
+      processed += count;
+    }
+    std::vector<TestPattern> kept;
+    kept.reserve(res.patterns.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (keep[i]) kept.push_back(std::move(res.patterns[i]));
+    }
+    res.patterns = std::move(kept);
+  }
+
+  // ---- metrics ----
+  res.detected = res.faults.count_equiv(FaultStatus::kDetected);
+  res.scan_tested = res.faults.count_equiv(FaultStatus::kScanTested);
+  res.redundant = res.faults.count_equiv(FaultStatus::kRedundant);
+  res.aborted = res.faults.count_equiv(FaultStatus::kAborted);
+  const double total = static_cast<double>(res.total_faults);
+  if (total > 0) {
+    res.fault_coverage_pct = 100.0 * static_cast<double>(res.detected + res.scan_tested) / total;
+    res.fault_efficiency_pct =
+        100.0 * static_cast<double>(res.detected + res.scan_tested + res.redundant) / total;
+  }
+  log_info() << "ATPG " << model.netlist().name() << ": " << res.patterns.size()
+             << " patterns (" << res.patterns_before_compaction << " pre-compaction), FC="
+             << res.fault_coverage_pct << "% FE=" << res.fault_efficiency_pct << "%";
+  return res;
+}
+
+std::int64_t test_data_volume(int num_chains, int max_chain_length, int num_patterns) {
+  const std::int64_t n = num_chains, l = max_chain_length, p = num_patterns;
+  return 2 * n * ((l + 1) * p + l);
+}
+
+std::int64_t test_application_time(int max_chain_length, int num_patterns) {
+  const std::int64_t l = max_chain_length, p = num_patterns;
+  return (l + 1) * p + l;
+}
+
+}  // namespace tpi

@@ -1,0 +1,67 @@
+// Compact ATPG driver: random bootstrap + PODEM with random fill and
+// dynamic fault dropping + reverse-order static compaction.
+//
+// This mirrors the Philips CAT flow the paper uses (Geuzebroek et al.,
+// ITC'00/'02): compact stuck-at pattern sets for scan-based external test.
+// The Table 1 metrics fall out of the result: pattern count, fault
+// coverage FC, fault efficiency FE, and — combined with the scan-chain
+// configuration — test data volume (eq. 1) and test application time
+// (eq. 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "atpg/podem.hpp"
+
+namespace tpi {
+
+struct AtpgOptions {
+  std::uint64_t seed = 0xA7961;
+  PodemOptions podem;
+  /// Pure-random warm-up batches of 64 patterns (dropped again by static
+  /// compaction when useless).
+  int random_batches = 10;
+  /// Stop the random warm-up early when a batch detects fewer equivalent
+  /// faults than this.
+  int random_min_yield = 8;
+  bool static_compaction = true;
+  int max_patterns = 200000;
+};
+
+/// One scan-test pattern: values for every controllable input (PIs and
+/// scan-cell states), aligned with CombModel::input_nets().
+struct TestPattern {
+  std::vector<std::uint8_t> bits;
+};
+
+struct AtpgResult {
+  FaultList faults;  ///< final per-fault statuses
+  std::vector<TestPattern> patterns;
+
+  std::int64_t total_faults = 0;  ///< uncollapsed universe (Table 1 #faults)
+  std::int64_t detected = 0;      ///< equivalent faults detected by patterns
+  std::int64_t scan_tested = 0;
+  std::int64_t redundant = 0;
+  std::int64_t aborted = 0;
+
+  double fault_coverage_pct = 0.0;    ///< FC = (detected+scan)/total
+  double fault_efficiency_pct = 0.0;  ///< FE = (detected+scan+redundant)/total
+  int patterns_before_compaction = 0;
+  int podem_calls = 0;
+  int podem_aborts = 0;
+
+  int num_patterns() const { return static_cast<int>(patterns.size()); }
+};
+
+AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability,
+                    const AtpgOptions& opts = {});
+
+/// Test data volume in scan bits, eq. (1): TDV = 2n((l_max+1)p + l_max).
+std::int64_t test_data_volume(int num_chains, int max_chain_length, int num_patterns);
+
+/// Test application time in clock cycles, eq. (2): TAT = (l_max+1)p + l_max.
+std::int64_t test_application_time(int max_chain_length, int num_patterns);
+
+}  // namespace tpi

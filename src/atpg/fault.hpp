@@ -1,0 +1,58 @@
+// Single stuck-at fault model with equivalence collapsing.
+//
+// The fault universe follows industrial practice (and the paper's Table 1
+// "#faults" column): two stuck-at faults per connected cell pin, plus two
+// per primary input. Faults on scan infrastructure (TI/TE/TR pins, clock
+// pins and pure scan-routing nets) are classified as tested by the scan
+// shift/flush tests rather than by ATPG patterns — this is why the paper's
+// fault coverage *rises* slightly with TPI: test points add easy faults.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/comb_model.hpp"
+
+namespace tpi {
+
+enum class FaultStatus : std::uint8_t {
+  kUndetected,
+  kDetected,    ///< detected by an ATPG pattern
+  kScanTested,  ///< covered by scan shift / flush tests
+  kRedundant,   ///< proven untestable by PODEM
+  kAborted,     ///< PODEM gave up (backtrack limit)
+};
+
+struct Fault {
+  NetId net = kNoNet;   ///< fault site
+  PinRef branch;        ///< specific sink pin; invalid = stem (driver side)
+  bool stuck1 = false;  ///< true = stuck-at-1
+  FaultStatus status = FaultStatus::kUndetected;
+  /// Number of uncollapsed faults this representative stands for (>= 1).
+  std::int32_t equiv_count = 1;
+
+  bool is_stem() const { return !branch.valid(); }
+};
+
+struct FaultList {
+  std::vector<Fault> faults;           ///< collapsed representatives
+  std::int64_t total_uncollapsed = 0;  ///< full universe size (Table 1 "#faults")
+
+  std::int64_t count_equiv(FaultStatus s) const {
+    std::int64_t n = 0;
+    for (const Fault& f : faults) {
+      if (f.status == s) n += f.equiv_count;
+    }
+    return n;
+  }
+  std::size_t count(FaultStatus s) const {
+    std::size_t n = 0;
+    for (const Fault& f : faults) n += (f.status == s);
+    return n;
+  }
+};
+
+/// Build the collapsed fault list for the capture-view model.
+FaultList build_fault_list(const CombModel& model);
+
+}  // namespace tpi

@@ -1,0 +1,128 @@
+#include "atpg/fault_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tpi {
+
+FaultSimulator::FaultSimulator(const CombModel& model) : model_(&model), good_(model) {
+  fval_.assign(model.num_nets(), 0);
+  stamp_.assign(model.num_nets(), 0);
+  queued_.assign(model.nodes().size(), 0);
+  observed_.assign(model.num_nets(), 0);
+  for (const NetId n : model.observe_nets()) observed_[static_cast<std::size_t>(n)] = 1;
+}
+
+void FaultSimulator::load_batch(const std::vector<Word>& input_words) {
+  good_.load_inputs(input_words);
+  good_.run();
+}
+
+void FaultSimulator::schedule(int node_index) {
+  const auto i = static_cast<std::size_t>(node_index);
+  if (queued_[i] == epoch_) return;
+  queued_[i] = epoch_;
+  heap_.push_back(node_index);
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+}
+
+void FaultSimulator::schedule_readers(NetId net, int skip_node) {
+  for (const int reader : model_->readers_of(net)) {
+    if (reader != skip_node) schedule(reader);
+  }
+}
+
+Word FaultSimulator::detects(const Fault& fault) {
+  ++epoch_;
+  heap_.clear();
+  Word detect = 0;
+
+  const Word stuck = fault.stuck1 ? ~Word{0} : Word{0};
+  int branch_reader = -1;
+
+  if (fault.is_stem()) {
+    const Word g = good_.value(fault.net);
+    if (g == stuck) return 0;  // no pattern activates the fault
+    set_faulty(fault.net, stuck);
+    if (observed_[static_cast<std::size_t>(fault.net)]) detect |= g ^ stuck;
+    schedule_readers(fault.net);
+  } else {
+    // Branch fault: only the one sink pin sees the stuck value. If the sink
+    // is a flip-flop D pin (not a logic node) the fault is directly
+    // captured whenever the good value differs.
+    const CellSpec* spec = model_->netlist().cell(fault.branch.cell).spec;
+    const bool logic_reader = [&] {
+      for (const int reader : model_->readers_of(fault.net)) {
+        if (model_->nodes()[static_cast<std::size_t>(reader)].cell == fault.branch.cell) {
+          branch_reader = reader;
+          return true;
+        }
+      }
+      return false;
+    }();
+    const Word g = good_.value(fault.net);
+    if (g == stuck) return 0;
+    if (!logic_reader) {
+      // FF D-pin branch (or PO branch): captured directly.
+      const bool seq_d = spec->sequential && fault.branch.pin == spec->d_pin;
+      return seq_d ? (g ^ stuck) : 0;
+    }
+    // Evaluate the branch reader with the forced input value.
+    const CombNode& node = model_->nodes()[static_cast<std::size_t>(branch_reader)];
+    Word in[4];
+    for (int i = 0; i < node.num_inputs; ++i) {
+      in[i] = node.in[i] == fault.net ? stuck : good_.value(node.in[i]);
+    }
+    Word sel = 0;
+    if (node.sel != kNoNet) sel = node.sel == fault.net ? stuck : good_.value(node.sel);
+    const Word out = eval_node_word(node, in, sel);
+    if (node.out == kNoNet || out == good_.value(node.out)) return 0;
+    set_faulty(node.out, out);
+    if (observed_[static_cast<std::size_t>(node.out)]) detect |= out ^ good_.value(node.out);
+    schedule_readers(node.out);
+  }
+
+  // Event-driven propagation in topological order.
+  Word in[4];
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    const int ni = heap_.back();
+    heap_.pop_back();
+    const CombNode& node = model_->nodes()[static_cast<std::size_t>(ni)];
+    if (node.out == kNoNet) continue;
+    // The branch-fault injection must persist if the reader re-evaluates.
+    const Word stuck_w = fault.stuck1 ? ~Word{0} : Word{0};
+    const bool inject_here = (ni == branch_reader);
+    for (int i = 0; i < node.num_inputs; ++i) {
+      in[i] = (inject_here && node.in[i] == fault.net) ? stuck_w : faulty_value(node.in[i]);
+    }
+    Word sel = 0;
+    if (node.sel != kNoNet) {
+      sel = (inject_here && node.sel == fault.net) ? stuck_w : faulty_value(node.sel);
+    }
+    const Word out = eval_node_word(node, in, sel);
+    if (out == faulty_value(node.out)) continue;  // no change
+    set_faulty(node.out, out);
+    const Word diff = out ^ good_.value(node.out);
+    if (diff != 0 && observed_[static_cast<std::size_t>(node.out)]) detect |= diff;
+    schedule_readers(node.out);
+  }
+  return detect;
+}
+
+Word FaultSimulator::drop_detected(std::vector<Fault*>& faults) {
+  Word useful = 0;
+  for (Fault* f : faults) {
+    // kRedundant stays eligible: simulation evidence of detection overrides
+    // a (heuristically pruned) redundancy proof.
+    if (f->status == FaultStatus::kDetected || f->status == FaultStatus::kScanTested) continue;
+    const Word d = detects(*f);
+    if (d != 0) {
+      f->status = FaultStatus::kDetected;
+      useful |= d & (~d + 1);  // credit the first detecting pattern
+    }
+  }
+  return useful;
+}
+
+}  // namespace tpi

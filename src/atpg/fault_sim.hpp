@@ -1,0 +1,59 @@
+// Event-driven, 64-pattern-parallel stuck-at fault simulation.
+//
+// For each fault the simulator diverges a faulty-value overlay from the
+// good-value state and propagates events in topological order through the
+// fault's output cone only, comparing at observable nets. Combined with
+// fault dropping this is the workhorse of compact ATPG: every generated
+// pattern (with random fill) is graded against all remaining faults.
+#pragma once
+
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "sim/parallel_sim.hpp"
+
+namespace tpi {
+
+class FaultSimulator {
+ public:
+  explicit FaultSimulator(const CombModel& model);
+
+  /// Load the good-circuit state for a batch of 64 patterns (words aligned
+  /// with model.input_nets()) and evaluate it.
+  void load_batch(const std::vector<Word>& input_words);
+
+  /// Word with bit k set iff pattern k of the current batch detects the
+  /// fault (observable difference at a PO or pseudo-PO).
+  Word detects(const Fault& fault);
+
+  /// Convenience: simulate the batch against `faults`, mark newly detected
+  /// faults kDetected and return per-pattern "useful" mask (bit k set iff
+  /// pattern k was the first detector of some fault).
+  Word drop_detected(std::vector<Fault*>& faults);
+
+  const ParallelSim& good() const { return good_; }
+
+ private:
+  Word faulty_value(NetId net) const {
+    const auto i = static_cast<std::size_t>(net);
+    return stamp_[i] == epoch_ ? fval_[i] : good_.value(net);
+  }
+  void set_faulty(NetId net, Word w) {
+    const auto i = static_cast<std::size_t>(net);
+    fval_[i] = w;
+    stamp_[i] = epoch_;
+  }
+  void schedule_readers(NetId net, int skip_node = -1);
+  void schedule(int node_index);
+
+  const CombModel* model_;
+  ParallelSim good_;
+  std::vector<Word> fval_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+  std::vector<int> heap_;  ///< min-heap of pending node indices (topo order)
+  std::vector<std::uint32_t> queued_;  ///< epoch stamp: node already queued
+  std::vector<char> observed_;         ///< per net: is an observe net
+};
+
+}  // namespace tpi

@@ -1,0 +1,517 @@
+#include "atpg/podem.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace tpi {
+namespace {
+
+Tern tern_of(bool b) { return b ? Tern::k1 : Tern::k0; }
+
+}  // namespace
+
+Podem::Podem(const CombModel& model, const TestabilityResult& scoap, PodemOptions opts)
+    : model_(model), scoap_(scoap), opts_(opts) {
+  const std::size_t n = model.num_nets();
+  vg_.assign(n, Tern::kX);
+  vf_.assign(n, Tern::kX);
+  is_input_.assign(n, 0);
+  input_index_.assign(n, 0);
+  observed_.assign(n, 0);
+  queued_.assign(model.nodes().size(), 0);
+  const auto& inputs = model.input_nets();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    is_input_[static_cast<std::size_t>(inputs[i])] = 1;
+    input_index_[static_cast<std::size_t>(inputs[i])] = i;
+  }
+  for (const NetId net : model.observe_nets()) observed_[static_cast<std::size_t>(net)] = 1;
+}
+
+void Podem::reset_state() {
+  for (auto it = trail_.rbegin(); it != trail_.rend(); ++it) {
+    vg_[static_cast<std::size_t>(it->net)] = it->old_g;
+    vf_[static_cast<std::size_t>(it->net)] = it->old_f;
+  }
+  trail_.clear();
+  d_frontier_.clear();
+  detected_ = false;
+  implications_ = 0;
+  // Constants are permanent; (re)assert them outside the trail.
+  for (const NetId net : model_.const0_nets()) {
+    vg_[static_cast<std::size_t>(net)] = Tern::k0;
+    vf_[static_cast<std::size_t>(net)] = Tern::k0;
+  }
+  for (const NetId net : model_.const1_nets()) {
+    vg_[static_cast<std::size_t>(net)] = Tern::k1;
+    vf_[static_cast<std::size_t>(net)] = Tern::k1;
+  }
+}
+
+void Podem::set_net(NetId net, Tern g, Tern f) {
+  const auto i = static_cast<std::size_t>(net);
+  if (vg_[i] == g && vf_[i] == f) return;
+  trail_.push_back(TrailEntry{net, vg_[i], vf_[i]});
+  vg_[i] = g;
+  vf_[i] = f;
+  if (observed_[i] && g != Tern::kX && f != Tern::kX && g != f) detected_ = true;
+}
+
+void Podem::eval_node(int node_index) {
+  const CombNode& node = model_.nodes()[static_cast<std::size_t>(node_index)];
+  if (node.out == kNoNet) return;
+  Tern gin[4], fin[4];
+  const Tern stuck = tern_of(fault_->stuck1);
+  const bool inject = node_index == branch_reader_;
+  for (int i = 0; i < node.num_inputs; ++i) {
+    const auto n = static_cast<std::size_t>(node.in[i]);
+    gin[i] = vg_[n];
+    fin[i] = (inject && node.in[i] == fault_->net) ? stuck : vf_[n];
+  }
+  Tern gsel = Tern::kX, fsel = Tern::kX;
+  if (node.sel != kNoNet) {
+    const auto n = static_cast<std::size_t>(node.sel);
+    gsel = vg_[n];
+    fsel = (inject && node.sel == fault_->net) ? stuck : vf_[n];
+  }
+  Tern g = eval_node_tern(node, gin, gsel);
+  Tern f = eval_node_tern(node, fin, fsel);
+  // Stem fault: the faulty circuit's value at the site is pinned.
+  if (fault_->is_stem() && node.out == fault_->net) f = stuck;
+
+  const auto out = static_cast<std::size_t>(node.out);
+  if (g == vg_[out] && f == vf_[out]) return;
+  set_net(node.out, g, f);
+  // D-frontier bookkeeping: the node's readers may now have a D input.
+  if (g != Tern::kX && f != Tern::kX && g != f) {
+    for (const int reader : model_.readers_of(node.out)) d_frontier_.push_back(reader);
+  }
+  for (const int reader : model_.readers_of(node.out)) {
+    const auto r = static_cast<std::size_t>(reader);
+    if (queued_[r] != epoch_) {
+      queued_[r] = epoch_;
+      heap_.push_back(reader);
+      std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+    }
+  }
+}
+
+bool Podem::assign_and_imply(NetId net, Tern value) {
+  ++epoch_;
+  heap_.clear();
+  const Tern stuck = tern_of(fault_->stuck1);
+  const Tern f = (fault_->is_stem() && net == fault_->net) ? stuck : value;
+  set_net(net, value, f);
+  if (fault_->is_stem() && net == fault_->net && value != Tern::kX && value != stuck) {
+    if (observed_[static_cast<std::size_t>(net)]) detected_ = true;
+    // The activated site carries a D: its readers join the D-frontier.
+    for (const int reader : model_.readers_of(net)) d_frontier_.push_back(reader);
+  }
+  for (const int reader : model_.readers_of(net)) {
+    const auto r = static_cast<std::size_t>(reader);
+    if (queued_[r] != epoch_) {
+      queued_[r] = epoch_;
+      heap_.push_back(reader);
+      std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+    }
+  }
+  while (!heap_.empty()) {
+    if (++implications_ > opts_.implication_limit) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    const int ni = heap_.back();
+    heap_.pop_back();
+    queued_[static_cast<std::size_t>(ni)] = epoch_ - 1;  // allow re-queue
+    eval_node(ni);
+  }
+  return true;
+}
+
+void Podem::rebuild_d_frontier() {
+  d_frontier_.clear();
+  // The branch reader carries the injected D on its faulty input; it never
+  // appears as a D on a real net, so it is always a frontier candidate.
+  if (branch_reader_ >= 0) d_frontier_.push_back(branch_reader_);
+  for (const TrailEntry& e : trail_) {
+    const auto n = static_cast<std::size_t>(e.net);
+    if (vg_[n] != Tern::kX && vf_[n] != Tern::kX && vg_[n] != vf_[n]) {
+      for (const int reader : model_.readers_of(e.net)) d_frontier_.push_back(reader);
+    }
+  }
+}
+
+int Podem::pick_d_frontier() {
+  // Lazily filter stale candidates; pick the gate whose output is closest
+  // to an observation point (minimum SCOAP CO).
+  int best = -1;
+  float best_co = kScoapInf + 1.0f;
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < d_frontier_.size(); ++i) {
+    const int ni = d_frontier_[i];
+    const CombNode& node = model_.nodes()[static_cast<std::size_t>(ni)];
+    if (node.out == kNoNet) continue;
+    const auto out = static_cast<std::size_t>(node.out);
+    // Resolved only when BOTH circuits know the output; a known good value
+    // with an unknown faulty value can still become a D.
+    if (vg_[out] != Tern::kX && vf_[out] != Tern::kX) continue;
+    if (ni == branch_reader_) {
+      // Keep the injection node alive even before the fault is activated:
+      // its D is virtual and appears once the site gets its value.
+      d_frontier_[w++] = ni;
+      continue;
+    }
+    bool has_d = false;
+    const Tern stuck = tern_of(fault_->stuck1);
+    const bool inject = ni == branch_reader_;
+    for (int k = 0; k < node.num_inputs + (node.sel != kNoNet ? 1 : 0); ++k) {
+      const NetId in_net = k < node.num_inputs ? node.in[k] : node.sel;
+      const auto n = static_cast<std::size_t>(in_net);
+      const Tern g = vg_[n];
+      const Tern f = (inject && in_net == fault_->net) ? stuck : vf_[n];
+      if (g != Tern::kX && f != Tern::kX && g != f) {
+        has_d = true;
+        break;
+      }
+    }
+    if (!has_d) continue;
+    d_frontier_[w++] = ni;
+    const float co = scoap_.co[out];
+    if (co < best_co) {
+      best_co = co;
+      best = ni;
+    }
+  }
+  d_frontier_.resize(w);
+  return best;
+}
+
+bool Podem::objective(NetId* net, Tern* value) {
+  // Kept for unit tests: a single objective without the multi-candidate
+  // search of find_decision().
+  const auto site = static_cast<std::size_t>(fault_->net);
+  const Tern want = tern_of(!fault_->stuck1);
+  if (vg_[site] == Tern::kX) {
+    *net = fault_->net;
+    *value = want;
+    return true;
+  }
+  return false;
+}
+
+// Enumerate the propagation objectives a D-frontier node offers; calls
+// try(net, value) for each until it returns true.
+template <typename Fn>
+bool Podem::for_each_propagation_objective(int ni, Fn&& try_objective) {
+  const CombNode& node = model_.nodes()[static_cast<std::size_t>(ni)];
+  if (node.func == CellFunc::kMux2) {
+    const auto sel = static_cast<std::size_t>(node.sel);
+    const Tern stuck = tern_of(fault_->stuck1);
+    const bool inject = ni == branch_reader_;
+    auto fval = [&](NetId in_net) {
+      return (inject && in_net == fault_->net) ? stuck
+                                               : vf_[static_cast<std::size_t>(in_net)];
+    };
+    auto has_d = [&](NetId in_net) {
+      const Tern g = vg_[static_cast<std::size_t>(in_net)];
+      const Tern f = fval(in_net);
+      return g != Tern::kX && f != Tern::kX && g != f;
+    };
+    if (has_d(node.sel)) {
+      // D on select: make the data inputs differ.
+      for (int k = 0; k < 2; ++k) {
+        if (vg_[static_cast<std::size_t>(node.in[k])] != Tern::kX) continue;
+        const Tern other = vg_[static_cast<std::size_t>(node.in[1 - k])];
+        const Tern v = other == Tern::k1 ? Tern::k0 : Tern::k1;
+        if (try_objective(node.in[k], v)) return true;
+        if (other == Tern::kX && try_objective(node.in[k], tern_not(v))) return true;
+      }
+      return false;
+    }
+    if (vg_[sel] == Tern::kX) {
+      // Steer the select toward the data input carrying the D.
+      const Tern v = has_d(node.in[1]) ? Tern::k1 : Tern::k0;
+      return try_objective(node.sel, v);
+    }
+    return false;
+  }
+  Tern nc;
+  switch (node.func) {
+    case CellFunc::kAnd:
+    case CellFunc::kNand:
+      nc = Tern::k1;
+      break;
+    case CellFunc::kOr:
+    case CellFunc::kNor:
+      nc = Tern::k0;
+      break;
+    default:
+      nc = Tern::k0;  // XOR/XNOR/BUF/INV: any defined value propagates
+      break;
+  }
+  for (int k = 0; k < node.num_inputs; ++k) {
+    if (vg_[static_cast<std::size_t>(node.in[k])] != Tern::kX) continue;
+    if (try_objective(node.in[k], nc)) return true;
+  }
+  return false;
+}
+
+// Find the next input decision: activate the fault, else propagate through
+// some D-frontier gate. Tries every frontier candidate and every side
+// input before giving up; `truncated` records whether any shortcut pruned
+// a branch that might still hold a test (in that case an exhausted search
+// must report kAborted, not kRedundant).
+bool Podem::find_decision(NetId* in_net, Tern* in_val) {
+  const auto site = static_cast<std::size_t>(fault_->net);
+  const Tern want = tern_of(!fault_->stuck1);
+  if (vg_[site] == Tern::kX) {
+    if (backtrace(fault_->net, want, in_net, in_val)) return true;
+    // Backtrace picked one uncontrollable chain; alternatives may exist.
+    truncated_ = true;
+    return false;
+  }
+  if (vg_[site] != want) return false;  // activation conflict: genuine dead end
+  // Refresh the frontier list order (best first) and walk every candidate.
+  pick_d_frontier();
+  std::vector<int> candidates = d_frontier_;
+  std::stable_sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+    const NetId oa = model_.nodes()[static_cast<std::size_t>(a)].out;
+    const NetId ob = model_.nodes()[static_cast<std::size_t>(b)].out;
+    return scoap_.co[static_cast<std::size_t>(oa)] < scoap_.co[static_cast<std::size_t>(ob)];
+  });
+  for (const int ni : candidates) {
+    bool found = false;
+    const bool had_objectives = for_each_propagation_objective(ni, [&](NetId net, Tern v) {
+      if (backtrace(net, v, in_net, in_val)) {
+        found = true;
+        return true;
+      }
+      truncated_ = true;  // objective existed but no controllable path
+      return false;
+    });
+    (void)had_objectives;
+    if (found) return true;
+  }
+  return false;
+}
+
+bool Podem::backtrace(NetId obj_net, Tern obj_val, NetId* input_net, Tern* input_val) {
+  NetId net = obj_net;
+  Tern val = obj_val;
+  for (int depth = 0; depth < 100000; ++depth) {
+    const auto n = static_cast<std::size_t>(net);
+    if (is_input_[n]) {
+      *input_net = net;
+      *input_val = val;
+      return true;
+    }
+    const int prod = model_.producer_of(net);
+    if (prod < 0) return false;  // tie cell or unreachable: cannot control
+    const CombNode& node = model_.nodes()[static_cast<std::size_t>(prod)];
+    auto cc = [&](NetId in, Tern v) {
+      const auto i = static_cast<std::size_t>(in);
+      return v == Tern::k1 ? scoap_.cc1[i] : scoap_.cc0[i];
+    };
+    // Select the next (input, value) pair per gate type: hardest-first when
+    // every input must be set, easiest-first when any single input suffices.
+    auto choose = [&](Tern need, bool all_required) -> bool {
+      NetId pick = kNoNet;
+      float pick_cost = all_required ? -1.0f : kScoapInf + 1.0f;
+      for (int k = 0; k < node.num_inputs; ++k) {
+        const auto i = static_cast<std::size_t>(node.in[k]);
+        if (vg_[i] != Tern::kX) continue;
+        const float cost = cc(node.in[k], need);
+        // When any single input suffices, never walk into a structurally
+        // uncontrollable chain (tie-driven) — another input can serve.
+        if (!all_required && cost >= kScoapInf) continue;
+        const bool better = all_required ? cost > pick_cost : cost < pick_cost;
+        if (better) {
+          pick_cost = cost;
+          pick = node.in[k];
+        }
+      }
+      if (pick == kNoNet) return false;
+      net = pick;
+      val = need;
+      return true;
+    };
+    switch (node.func) {
+      case CellFunc::kBuf:
+      case CellFunc::kClkBuf:
+      case CellFunc::kTsff:
+        net = node.in[0];
+        break;
+      case CellFunc::kInv:
+        net = node.in[0];
+        val = tern_not(val);
+        break;
+      case CellFunc::kAnd:
+      case CellFunc::kNand: {
+        Tern v = val;
+        if (node.func == CellFunc::kNand) v = tern_not(v);
+        // v==1: all inputs 1 (hardest first); v==0: one input 0 (easiest).
+        if (!choose(v == Tern::k1 ? Tern::k1 : Tern::k0, v == Tern::k1)) return false;
+        break;
+      }
+      case CellFunc::kOr:
+      case CellFunc::kNor: {
+        Tern v = val;
+        if (node.func == CellFunc::kNor) v = tern_not(v);
+        // v==0: all inputs 0 (hardest first); v==1: one input 1 (easiest).
+        if (!choose(v == Tern::k0 ? Tern::k0 : Tern::k1, v == Tern::k0)) return false;
+        break;
+      }
+      case CellFunc::kXor:
+      case CellFunc::kXnor: {
+        // Set any X input; pick its cheaper polarity (parity fixed later by
+        // the other inputs / subsequent objectives).
+        NetId pick = kNoNet;
+        for (int k = 0; k < node.num_inputs; ++k) {
+          if (vg_[static_cast<std::size_t>(node.in[k])] == Tern::kX) {
+            pick = node.in[k];
+            break;
+          }
+        }
+        if (pick == kNoNet) return false;
+        net = pick;
+        val = cc(pick, Tern::k0) <= cc(pick, Tern::k1) ? Tern::k0 : Tern::k1;
+        break;
+      }
+      case CellFunc::kMux2: {
+        const auto sel = static_cast<std::size_t>(node.sel);
+        if (vg_[sel] == Tern::kX) {
+          // Steer through the cheaper data path.
+          const float via_a = cc(node.in[0], val) + cc(node.sel, Tern::k0);
+          const float via_b = cc(node.in[1], val) + cc(node.sel, Tern::k1);
+          net = node.sel;
+          val = via_a <= via_b ? Tern::k0 : Tern::k1;
+        } else {
+          const int k = vg_[sel] == Tern::k1 ? 1 : 0;
+          if (vg_[static_cast<std::size_t>(node.in[k])] != Tern::kX) return false;
+          net = node.in[k];
+        }
+        break;
+      }
+      default:
+        return false;
+    }
+    if (vg_[static_cast<std::size_t>(net)] != Tern::kX) return false;
+  }
+  return false;
+}
+
+PodemResult Podem::generate(const Fault& fault) {
+  PodemResult res;
+  fault_ = &fault;
+  branch_reader_ = -1;
+  direct_branch_capture_ = false;
+  if (!fault.is_stem()) {
+    for (const int reader : model_.readers_of(fault.net)) {
+      if (model_.nodes()[static_cast<std::size_t>(reader)].cell == fault.branch.cell) {
+        branch_reader_ = reader;
+        break;
+      }
+    }
+    if (branch_reader_ < 0) {
+      // Branch fault straight into a flip-flop D pin: the faulty value is
+      // captured directly, so activating the site detects it.
+      const CellSpec* spec = model_.netlist().cell(fault.branch.cell).spec;
+      direct_branch_capture_ = spec->sequential && fault.branch.pin == spec->d_pin;
+      if (!direct_branch_capture_) {
+        res.outcome = PodemOutcome::kRedundant;  // unobservable branch
+        return res;
+      }
+    }
+  }
+  reset_state();
+  truncated_ = false;
+  if (branch_reader_ >= 0) d_frontier_.push_back(branch_reader_);
+
+  std::vector<Decision> decisions;
+  int backtracks = 0;
+  while (true) {
+    if (direct_branch_capture_ &&
+        vg_[static_cast<std::size_t>(fault.net)] == tern_of(!fault.stuck1)) {
+      detected_ = true;
+    }
+    if (detected_) {
+      res.outcome = PodemOutcome::kTest;
+      res.cube.assign(model_.input_nets().size(), Tern::kX);
+      const auto& inputs = model_.input_nets();
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        res.cube[i] = vg_[static_cast<std::size_t>(inputs[i])];
+      }
+      res.backtracks = backtracks;
+      return res;
+    }
+    NetId in_net = kNoNet;
+    Tern in_val = Tern::kX;
+    const bool have_obj = find_decision(&in_net, &in_val);
+    if (opts_.trace) {
+      std::fprintf(stderr, "[podem] depth=%zu have_obj=%d net=%d val=%d frontier=%zu trunc=%d",
+                   decisions.size(), have_obj ? 1 : 0, have_obj ? in_net : -1,
+                   have_obj ? static_cast<int>(in_val) : -1, d_frontier_.size(),
+                   truncated_ ? 1 : 0);
+      for (const int ni : d_frontier_) {
+        const CombNode& node = model_.nodes()[static_cast<std::size_t>(ni)];
+        std::fprintf(stderr, " [cell=%d out=%d vg=%d vf=%d]", node.cell, node.out,
+                     node.out != kNoNet ? static_cast<int>(vg_[static_cast<std::size_t>(node.out)]) : -1,
+                     node.out != kNoNet ? static_cast<int>(vf_[static_cast<std::size_t>(node.out)]) : -1);
+      }
+      std::fprintf(stderr, "\n");
+    }
+    if (have_obj) {
+      Decision d;
+      d.input_index = input_index_[static_cast<std::size_t>(in_net)];
+      d.value = in_val;
+      d.trail_mark = trail_.size();
+      decisions.push_back(d);
+      if (!assign_and_imply(in_net, in_val)) {
+        res.outcome = PodemOutcome::kAborted;  // implication budget blown
+        res.backtracks = backtracks;
+        return res;
+      }
+      continue;
+    }
+    // Dead end: flip the most recent unflipped decision.
+    bool flipped = false;
+    while (!decisions.empty()) {
+      Decision& d = decisions.back();
+      // Undo its implications (reverse order restores every intermediate
+      // composite value exactly).
+      while (trail_.size() > d.trail_mark) {
+        const TrailEntry e = trail_.back();
+        trail_.pop_back();
+        vg_[static_cast<std::size_t>(e.net)] = e.old_g;
+        vf_[static_cast<std::size_t>(e.net)] = e.old_f;
+      }
+      detected_ = false;
+      if (!d.flipped) {
+        d.flipped = true;
+        d.value = tern_not(d.value);
+        if (++backtracks > opts_.backtrack_limit) {
+          res.outcome = PodemOutcome::kAborted;
+          res.backtracks = backtracks;
+          return res;
+        }
+        rebuild_d_frontier();
+        const NetId net = model_.input_nets()[d.input_index];
+        if (!assign_and_imply(net, d.value)) {
+          res.outcome = PodemOutcome::kAborted;
+          res.backtracks = backtracks;
+          return res;
+        }
+        flipped = true;
+        break;
+      }
+      decisions.pop_back();
+    }
+    if (!flipped && decisions.empty()) {
+      // Only a complete search proves redundancy; if any branch was pruned
+      // by a heuristic shortcut the honest verdict is "aborted".
+      res.outcome = truncated_ ? PodemOutcome::kAborted : PodemOutcome::kRedundant;
+      res.backtracks = backtracks;
+      return res;
+    }
+  }
+}
+
+}  // namespace tpi

@@ -1,0 +1,92 @@
+// Logic BIST substrate (§2 of the paper).
+//
+// "Most TPI methods are used with logic built-in self-test (LBIST). LBIST
+// implements a pseudo-random stimulus generator on-chip ... the fault
+// coverage achieved with pseudo-random patterns only is generally
+// insufficient ... Test points are therefore inserted to increase the
+// detectability of these faults."
+//
+// This module provides that context: an LFSR pattern generator with a
+// phase-shifter-style expansion across scan chains, a MISR response
+// compactor, and a BIST session runner that fault-grades pseudo-random
+// patterns — the experiment that motivates test point insertion in the
+// first place (pseudo-random-resistant faults cap the coverage curve).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "sim/parallel_sim.hpp"
+
+namespace tpi {
+
+/// Galois-form LFSR over a primitive polynomial (bit i of the polynomial
+/// mask = coefficient of x^i, implicit x^degree term).
+class Lfsr {
+ public:
+  /// Standard primitive polynomial for the given degree (8..64).
+  static std::uint64_t primitive_polynomial(int degree);
+
+  explicit Lfsr(int degree, std::uint64_t seed = 0xACE1u);
+
+  int degree() const { return degree_; }
+  std::uint64_t state() const { return state_; }
+
+  /// Advance one step and return the new state.
+  std::uint64_t step();
+
+  /// Produce the next pseudo-random bit (LSB of the state after stepping).
+  bool next_bit() { return (step() & 1u) != 0; }
+
+  /// Fill a 64-pattern word: bit k of the result is an independent draw.
+  Word next_word();
+
+ private:
+  int degree_;
+  std::uint64_t poly_;
+  std::uint64_t mask_;
+  std::uint64_t state_;
+};
+
+/// Multiple-input signature register: compacts observed responses into a
+/// signature (Galois LFSR with parallel inputs XORed into the low bits).
+class Misr {
+ public:
+  explicit Misr(int degree = 32, std::uint64_t seed = 0);
+
+  /// Absorb one observation word (e.g. a PO value across 64 patterns the
+  /// caller serialises, or one per-pattern response slice).
+  void absorb(std::uint64_t value);
+
+  std::uint64_t signature() const { return state_; }
+
+ private:
+  std::uint64_t poly_;
+  std::uint64_t mask_;
+  std::uint64_t state_;
+};
+
+struct LbistOptions {
+  int max_patterns = 16384;     ///< pseudo-random budget
+  int report_every = 1024;      ///< granularity of the coverage curve
+  std::uint64_t lfsr_seed = 0xACE1u;
+  int lfsr_degree = 32;
+};
+
+struct LbistResult {
+  /// Coverage curve: (patterns applied, fault coverage %) per report step.
+  std::vector<std::pair<int, double>> coverage_curve;
+  double final_coverage_pct = 0.0;
+  std::int64_t detected = 0;         ///< equivalent faults detected
+  std::int64_t total_faults = 0;     ///< uncollapsed universe
+  std::uint64_t signature = 0;       ///< MISR signature of the good machine
+  int patterns_applied = 0;
+};
+
+/// Run a pseudo-random BIST session on the capture-view model: LFSR-driven
+/// scan loads, fault grading with dropping, MISR signature of the fault-free
+/// responses. Scan-tested faults count as covered (shift/flush tests).
+LbistResult run_lbist(const CombModel& model, const LbistOptions& opts = {});
+
+}  // namespace tpi

@@ -1,0 +1,27 @@
+// Synthetic sequential circuit generator.
+//
+// Produces an acyclic gate-level netlist from a CircuitProfile:
+//  * flip-flops assigned to clock domains,
+//  * a combinational cloud grown gate-by-gate with locality-biased input
+//    selection (Rent-style wiring locality) and a bounded logic depth,
+//  * "hub" signals with large fanout (enable/mode nets) that overload
+//    minimum-drive cells — the slow-node population of §4.4,
+//  * pseudo-random-pattern-resistant wide-decode blocks over a shared
+//    signal pool — the hard-fault population that test point insertion
+//    targets (§2, §4.2),
+//  * full observability: left-over signals are folded into XOR observation
+//    trees feeding extra primary outputs, so fault efficiency stays high.
+//
+// Generation is deterministic in CircuitProfile::seed.
+#pragma once
+
+#include <memory>
+
+#include "circuits/profiles.hpp"
+#include "netlist/netlist.hpp"
+
+namespace tpi {
+
+std::unique_ptr<Netlist> generate_circuit(const CellLibrary& lib, const CircuitProfile& profile);
+
+}  // namespace tpi

@@ -1,0 +1,49 @@
+// Parasitic extraction (§3.2 flow step 5, the HyperExtract stage).
+//
+// Per-net wire resistance/capacitance is derived from the routed tree with
+// per-unit-length constants for two layer classes (short nets on thin
+// lower metal, long nets promoted to thicker upper metal). Sink delays use
+// the Elmore model over the route tree with a pi-segment per edge; the
+// total capacitance (wire + sink pins + pad loads) is what the NLDM
+// lookups in STA see as output load.
+#pragma once
+
+#include <vector>
+
+#include "layout/routing.hpp"
+
+namespace tpi {
+
+struct ExtractionOptions {
+  // Thin lower-metal class (short nets).
+  double r_short_ohm_per_um = 0.80;
+  double c_short_ff_per_um = 0.18;
+  // Thick upper-metal class (long nets).
+  double r_long_ohm_per_um = 0.25;
+  double c_long_ff_per_um = 0.22;
+  double long_net_threshold_um = 400.0;
+  double po_pad_cap_ff = 40.0;  ///< load of an output pad
+};
+
+struct NetParasitics {
+  double wire_cap_ff = 0.0;
+  double pin_cap_ff = 0.0;
+  double total_cap_ff = 0.0;  ///< driver's output load
+  /// Elmore wire delay (ps) from the driver to each sink, ordered as the
+  /// net's cell sinks followed by its PO sinks.
+  std::vector<double> sink_elmore_ps;
+
+  double elmore_to_cell_sink(std::size_t sink_index) const {
+    return sink_index < sink_elmore_ps.size() ? sink_elmore_ps[sink_index] : 0.0;
+  }
+};
+
+struct ExtractionResult {
+  std::vector<NetParasitics> nets;  ///< indexed by NetId
+  double total_wire_cap_ff = 0.0;
+};
+
+ExtractionResult extract(const Netlist& nl, const RoutingResult& routes,
+                         const ExtractionOptions& opts = {});
+
+}  // namespace tpi

@@ -1,0 +1,158 @@
+#include "flow/flow.hpp"
+
+#include <cmath>
+
+#include "circuits/generator.hpp"
+#include "extraction/extraction.hpp"
+#include "layout/placement.hpp"
+#include "scan/scan.hpp"
+#include "sim/comb_model.hpp"
+#include "util/log.hpp"
+
+namespace tpi {
+namespace {
+
+std::vector<std::pair<double, double>> cell_positions(const Netlist& nl, const Placement& pl) {
+  std::vector<std::pair<double, double>> pos(nl.num_cells(), {0.0, 0.0});
+  for (std::size_t c = 0; c < nl.num_cells() && c < pl.pos.size(); ++c) {
+    pos[c] = {pl.pos[c].x, pl.pos[c].y};
+  }
+  return pos;
+}
+
+// Pre-TPI timing pass for timing-driven TPI (§5): quick layout + STA on the
+// unmodified netlist to find the small-slack nets.
+std::unordered_set<NetId> small_slack_nets(const Netlist& nl, const CircuitProfile& profile,
+                                           double slack_threshold_ps) {
+  // Work on a throwaway layout of the same netlist (no edits needed: the
+  // analysis is read-only).
+  FloorplanOptions fpo;
+  fpo.target_row_utilization = profile.target_row_utilization;
+  const Floorplan fp = make_floorplan(nl, fpo);
+  const Placement pl = place(nl, fp, PlacementOptions{});
+  const RoutingResult routes = route(nl, fp, pl);
+  const ExtractionResult px = extract(nl, routes);
+  const StaResult sta = run_sta(nl, px);
+  std::unordered_set<NetId> out;
+  for (std::size_t n = 0; n < sta.net_slack_ps.size(); ++n) {
+    if (sta.net_slack_ps[n] < slack_threshold_ps) out.insert(static_cast<NetId>(n));
+  }
+  return out;
+}
+
+}  // namespace
+
+FlowResult run_flow(const CellLibrary& lib, const CircuitProfile& profile,
+                    const FlowOptions& opts) {
+  std::unique_ptr<Netlist> nl = generate_circuit(lib, profile);
+  return run_flow_on(*nl, profile, opts);
+}
+
+FlowResult run_flow_on(Netlist& nl, const CircuitProfile& profile, const FlowOptions& opts) {
+  FlowResult res;
+  res.circuit = profile.name;
+
+  // ---- step 1: TPI & scan insertion ----
+  const int base_ffs = static_cast<int>(nl.flip_flops().size());
+  const int num_tp =
+      static_cast<int>(std::lround(opts.tp_percent / 100.0 * static_cast<double>(base_ffs)));
+  TpiOptions tpi_opts;
+  tpi_opts.num_test_points = num_tp;
+  tpi_opts.method = opts.tpi_method;
+  if (opts.timing_driven_tpi && num_tp > 0) {
+    tpi_opts.excluded_nets =
+        small_slack_nets(nl, profile, opts.timing_exclude_slack_ps);
+  }
+  const TpiReport tpi_report = insert_test_points(nl, tpi_opts);
+  res.num_test_points = static_cast<int>(tpi_report.test_points.size());
+
+  ScanOptions scan_opts;
+  scan_opts.max_chain_length = profile.max_chain_length;
+  scan_opts.max_chains = profile.max_chains;
+  insert_scan(nl, scan_opts);
+  res.num_ffs = static_cast<int>(nl.flip_flops().size());
+
+  // ---- step 2: floorplanning & placement ----
+  FloorplanOptions fpo;
+  fpo.target_row_utilization = profile.target_row_utilization;
+  const Floorplan fp = make_floorplan(nl, fpo);
+  PlacementOptions plo;
+  plo.seed = opts.seed ^ profile.seed;
+  Placement pl = place(nl, fp, plo);
+
+  // ---- step 3: layout-driven scan chain reordering + ATPG ----
+  ChainPlan plan;
+  if (opts.layout_driven_reorder) {
+    plan = plan_chains(nl, scan_opts, cell_positions(nl, pl));
+    reorder_chains(plan, cell_positions(nl, pl));
+  } else {
+    plan = plan_chains(nl, scan_opts, {});
+  }
+  res.scan_wire_length_um = chain_wire_length(plan, cell_positions(nl, pl));
+  stitch_chains(nl, plan);
+  res.num_chains = plan.num_chains;
+  res.max_chain_length = plan.max_length;
+
+  // Buffer the scan-enable and test-point control nets (step 3: "buffers
+  // and inverters may be added to the scan-enable signals").
+  std::vector<CellId> buffer_cells;
+  const std::size_t cells_before_buffers = nl.num_cells();
+  for (const char* ctrl : {"scan_en", "tp_tr", "tp_te"}) {
+    const NetId n = nl.find_net(ctrl);
+    if (n != kNoNet) res.scan_enable_buffers += buffer_high_fanout_net(nl, n);
+  }
+  for (std::size_t c = cells_before_buffers; c < nl.num_cells(); ++c) {
+    buffer_cells.push_back(static_cast<CellId>(c));
+  }
+
+  if (opts.run_atpg) {
+    CombModel capture(nl, SeqView::kCapture);
+    const TestabilityResult testab = analyze_testability(capture);
+    AtpgOptions atpg_opts = opts.atpg;
+    atpg_opts.seed ^= profile.seed;
+    res.atpg = run_atpg(capture, testab, atpg_opts);
+    res.num_faults = res.atpg.total_faults;
+    res.fault_coverage_pct = res.atpg.fault_coverage_pct;
+    res.fault_efficiency_pct = res.atpg.fault_efficiency_pct;
+    res.saf_patterns = res.atpg.num_patterns();
+    res.tdv_bits = test_data_volume(res.num_chains, res.max_chain_length, res.saf_patterns);
+    res.tat_cycles = test_application_time(res.max_chain_length, res.saf_patterns);
+  }
+
+  // ---- step 4: ECO — buffers placed, clock trees, fillers, routing ----
+  eco_place(nl, fp, pl, buffer_cells);
+  const CtsReport cts = synthesize_clock_trees(nl, fp, pl);
+  res.clock_buffers = cts.buffers_added;
+
+  const Netlist::Stats pre_filler = nl.stats();
+  res.num_cells = static_cast<int>(pre_filler.cells);
+  const FillerReport fillers = insert_fillers(nl, fp, pl);
+
+  res.num_rows = fp.num_rows;
+  res.row_length_um = fp.row_length_um;
+  res.total_row_length_um = fp.total_row_length_um();
+  res.core_area_um2 = fp.core_area_um2();
+  res.chip_area_um2 = fp.chip_area_um2();
+  res.aspect_ratio = fp.aspect_ratio();
+  res.filler_area_pct = 100.0 * fillers.area_um2 / fp.core_area_um2();
+  res.row_utilization_pct = 100.0 * (1.0 - fillers.area_um2 / fp.core_area_um2());
+
+  // Scan stitching added si/so ports: refresh the IO pad ring before
+  // routing so every port has a physical location.
+  assign_io_pads(nl, fp, pl);
+  const RoutingResult routes = route(nl, fp, pl);
+  res.wire_length_um = routes.total_wire_length_um;
+
+  // ---- steps 5-6: extraction + STA ----
+  if (opts.run_sta) {
+    const ExtractionResult px = extract(nl, routes);
+    res.sta = run_sta(nl, px);
+  }
+
+  log_info() << profile.name << " @" << opts.tp_percent << "% TP: cells=" << res.num_cells
+             << " chip=" << res.chip_area_um2 << "um2 wires=" << res.wire_length_um
+             << "um Tcp=" << (res.sta.worst.valid ? res.sta.worst.t_cp_ps : 0.0) << "ps";
+  return res;
+}
+
+}  // namespace tpi

@@ -1,0 +1,88 @@
+// End-to-end tool flow of Fig. 2 (§3.2):
+//
+//   1. TPI & scan insertion          (tpi, scan)
+//   2. floorplanning & placement     (layout)
+//   3. layout-driven scan chain reordering + ATPG   (scan, atpg)
+//   4. ECO: clock trees, fillers, routing           (layout)
+//   5. layout extraction             (extraction)
+//   6. static timing analysis        (sta)
+//
+// Layouts for different test-point counts are generated from scratch, as
+// in §4.1, with identical floorplan policy (square core, same target row
+// utilisation) so the comparison across TP percentages is fair.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "atpg/atpg.hpp"
+#include "circuits/profiles.hpp"
+#include "layout/clock_tree.hpp"
+#include "layout/routing.hpp"
+#include "sta/sta.hpp"
+#include "tpi/tpi.hpp"
+
+namespace tpi {
+
+struct FlowOptions {
+  /// Test points as a percentage of the flip-flop count (§4.1).
+  double tp_percent = 0.0;
+  TpiMethod tpi_method = TpiMethod::kHybrid;
+
+  bool layout_driven_reorder = true;  ///< flow step 3 (ablation toggle)
+  /// Timing-driven TPI (§5 / Cheng & Lin): run a pre-TPI layout + STA and
+  /// exclude nets with slack below `timing_exclude_slack_ps`.
+  bool timing_driven_tpi = false;
+  double timing_exclude_slack_ps = 400.0;
+
+  bool run_atpg = true;  ///< Table 1 needs it; Tables 2-3 do not
+  bool run_sta = true;
+  AtpgOptions atpg;
+  std::uint64_t seed = 0xF10F;
+};
+
+struct FlowResult {
+  std::string circuit;
+  int num_test_points = 0;
+
+  // ---- Table 1: test data ----
+  int num_ffs = 0;  ///< scan flip-flops incl. test points (#FF)
+  int num_chains = 0;
+  int max_chain_length = 0;  ///< l_max
+  std::int64_t num_faults = 0;
+  double fault_coverage_pct = 0.0;
+  double fault_efficiency_pct = 0.0;
+  int saf_patterns = 0;
+  std::int64_t tdv_bits = 0;
+  std::int64_t tat_cycles = 0;
+
+  // ---- Table 2: silicon area ----
+  int num_cells = 0;  ///< placeable standard cells (fillers reported separately)
+  int num_rows = 0;
+  double row_length_um = 0.0;        ///< length of one row
+  double total_row_length_um = 0.0;  ///< L_rows
+  double core_area_um2 = 0.0;
+  double filler_area_pct = 0.0;  ///< % of core area used by fillers
+  double chip_area_um2 = 0.0;
+  double wire_length_um = 0.0;  ///< L_wires
+  double aspect_ratio = 1.0;
+  double row_utilization_pct = 0.0;
+
+  // ---- Table 3: timing ----
+  StaResult sta;
+
+  // ---- diagnostics ----
+  int scan_enable_buffers = 0;
+  int clock_buffers = 0;
+  double scan_wire_length_um = 0.0;
+  AtpgResult atpg;
+};
+
+/// Run the full flow on a freshly generated circuit for `profile`.
+FlowResult run_flow(const CellLibrary& lib, const CircuitProfile& profile,
+                    const FlowOptions& opts);
+
+/// Same, but on a caller-supplied netlist (consumed/modified in place).
+FlowResult run_flow_on(Netlist& nl, const CircuitProfile& profile, const FlowOptions& opts);
+
+}  // namespace tpi

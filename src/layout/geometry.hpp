@@ -1,0 +1,53 @@
+// Basic planar geometry used across floorplanning, placement and routing.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace tpi {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline double manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+struct Rect {
+  double lx = 0.0, ly = 0.0, hx = 0.0, hy = 0.0;
+
+  double width() const { return hx - lx; }
+  double height() const { return hy - ly; }
+  double area() const { return width() * height(); }
+  Point center() const { return Point{(lx + hx) / 2.0, (ly + hy) / 2.0}; }
+  bool contains(const Point& p) const {
+    return p.x >= lx && p.x <= hx && p.y >= ly && p.y <= hy;
+  }
+  void expand(double m) {
+    lx -= m;
+    ly -= m;
+    hx += m;
+    hy += m;
+  }
+};
+
+/// Half-perimeter wire length of a point set's bounding box.
+class HpwlAccumulator {
+ public:
+  void add(const Point& p) {
+    lx_ = std::min(lx_, p.x);
+    hx_ = std::max(hx_, p.x);
+    ly_ = std::min(ly_, p.y);
+    hy_ = std::max(hy_, p.y);
+    ++n_;
+  }
+  double value() const { return n_ < 2 ? 0.0 : (hx_ - lx_) + (hy_ - ly_); }
+
+ private:
+  double lx_ = 1e300, ly_ = 1e300, hx_ = -1e300, hy_ = -1e300;
+  int n_ = 0;
+};
+
+}  // namespace tpi

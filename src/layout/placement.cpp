@@ -1,0 +1,355 @@
+#include "layout/placement.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+
+namespace tpi {
+namespace {
+
+bool placeable(const Netlist& nl, CellId c) {
+  return nl.cell(c).spec->func != CellFunc::kFiller;
+}
+
+}  // namespace
+
+// Distribute IO pads evenly around the chip boundary, PIs then POs.
+void assign_io_pads(const Netlist& nl, const Floorplan& fp, Placement& pl) {
+  const std::size_t total = nl.num_pis() + nl.num_pos();
+  pl.pi_pad.resize(nl.num_pis());
+  pl.po_pad.resize(nl.num_pos());
+  if (total == 0) return;
+  const Rect& box = fp.chip_box;
+  const double perim = 2.0 * (box.width() + box.height());
+  for (std::size_t i = 0; i < total; ++i) {
+    double d = perim * (static_cast<double>(i) + 0.5) / static_cast<double>(total);
+    Point p;
+    if (d < box.width()) {
+      p = Point{box.lx + d, box.ly};
+    } else if ((d -= box.width()) < box.height()) {
+      p = Point{box.hx, box.ly + d};
+    } else if ((d -= box.height()) < box.width()) {
+      p = Point{box.hx - d, box.hy};
+    } else {
+      d -= box.width();
+      p = Point{box.lx, box.hy - d};
+    }
+    if (i < nl.num_pis()) {
+      pl.pi_pad[i] = p;
+    } else {
+      pl.po_pad[i - nl.num_pis()] = p;
+    }
+  }
+}
+
+namespace {
+
+// Repack one row: cells keep their left-to-right order, are pulled toward
+// their current centres, and are shifted left as needed to fit the row.
+void repack_row(const Netlist& nl, const Floorplan& fp, Placement& pl, int row) {
+  auto& order = pl.row_order[static_cast<std::size_t>(row)];
+  std::stable_sort(order.begin(), order.end(), [&](CellId a, CellId b) {
+    return pl.pos[static_cast<std::size_t>(a)].x < pl.pos[static_cast<std::size_t>(b)].x;
+  });
+  const double site = fp.site_width_um;
+  const double row_end = fp.core_box.lx + fp.row_length_um;
+  std::vector<double> left(order.size());
+  double cursor = fp.core_box.lx;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const CellId c = order[i];
+    const double w = nl.cell(c).spec->width_um;
+    double desired = pl.pos[static_cast<std::size_t>(c)].x - w / 2.0;
+    desired = std::floor((desired - fp.core_box.lx) / site) * site + fp.core_box.lx;
+    left[i] = std::max(cursor, desired);
+    cursor = left[i] + w;
+  }
+  // Shift-left pass from the right if the row overflowed.
+  double limit = row_end;
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const double w = nl.cell(order[i]).spec->width_um;
+    if (left[i] + w > limit) left[i] = limit - w;
+    limit = left[i];
+  }
+  const double y = fp.row_y(row) + fp.row_height_um / 2.0;
+  double used = 0.0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const CellId c = order[i];
+    const double w = nl.cell(c).spec->width_um;
+    pl.pos[static_cast<std::size_t>(c)] = Point{left[i] + w / 2.0, y};
+    pl.row[static_cast<std::size_t>(c)] = row;
+    used += w;
+  }
+  pl.row_used_um[static_cast<std::size_t>(row)] = used;
+}
+
+}  // namespace
+
+double Placement::total_hpwl(const Netlist& nl) const {
+  double total = 0.0;
+  for (std::size_t n = 0; n < nl.num_nets(); ++n) {
+    const Net& net = nl.net(static_cast<NetId>(n));
+    HpwlAccumulator acc;
+    if (net.driver.valid()) acc.add(pos[static_cast<std::size_t>(net.driver.cell)]);
+    if (net.driven_by_pi()) acc.add(pi_pad[static_cast<std::size_t>(net.pi_index)]);
+    for (const PinRef& s : net.sinks) acc.add(pos[static_cast<std::size_t>(s.cell)]);
+    for (const int po : net.po_sinks) acc.add(po_pad[static_cast<std::size_t>(po)]);
+    total += acc.value();
+  }
+  return total;
+}
+
+Placement place(const Netlist& nl, const Floorplan& fp, const PlacementOptions& opts) {
+  Placement pl;
+  const std::size_t n_cells = nl.num_cells();
+  pl.pos.assign(n_cells, fp.core_box.center());
+  pl.row.assign(n_cells, -1);
+  pl.row_order.assign(static_cast<std::size_t>(fp.num_rows), {});
+  pl.row_used_um.assign(static_cast<std::size_t>(fp.num_rows), 0.0);
+  assign_io_pads(nl, fp, pl);
+
+  std::vector<CellId> movable;
+  for (std::size_t c = 0; c < n_cells; ++c) {
+    if (placeable(nl, static_cast<CellId>(c))) movable.push_back(static_cast<CellId>(c));
+  }
+  if (movable.empty()) return pl;
+
+  // Initial placement: netlist-order serpentine across the core. Netlist
+  // order follows synthesis locality, and — unlike a graph traversal — it
+  // is stable under small netlist edits, so layouts for different
+  // test-point counts start from comparable seeds (fair comparison, §4.1).
+  {
+    const std::vector<CellId>& order = movable;
+    const double rows_d = static_cast<double>(fp.num_rows);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const double t = (static_cast<double>(i) + 0.5) / static_cast<double>(order.size());
+      const int r = std::min(fp.num_rows - 1, static_cast<int>(t * rows_d));
+      const double frac_in_row = t * rows_d - r;
+      const double x = (r % 2 == 0)
+                           ? fp.core_box.lx + frac_in_row * fp.core_box.width()
+                           : fp.core_box.hx - frac_in_row * fp.core_box.width();
+      pl.pos[static_cast<std::size_t>(order[i])] =
+          Point{x, fp.row_y(r) + fp.row_height_um / 2.0};
+    }
+  }
+
+  // ---- global placement: centroid attraction + rank spreading ----
+  std::vector<Point> net_centroid(nl.num_nets());
+  std::vector<int> net_degree(nl.num_nets(), 0);
+  std::vector<char> net_active(nl.num_nets(), 1);
+  for (std::size_t n = 0; n < nl.num_nets(); ++n) {
+    const Net& net = nl.net(static_cast<NetId>(n));
+    if (net.fanout() > opts.net_fanout_limit) net_active[n] = 0;
+  }
+
+  std::vector<Point> next(n_cells);
+  std::vector<double> weight(n_cells);
+  std::vector<std::size_t> rank(movable.size());
+  for (int iter = 0; iter < opts.global_iterations; ++iter) {
+    // Net centroids (pads included: they anchor the placement to the ring).
+    for (std::size_t n = 0; n < nl.num_nets(); ++n) {
+      if (!net_active[n]) continue;
+      const Net& net = nl.net(static_cast<NetId>(n));
+      double sx = 0, sy = 0;
+      int k = 0;
+      auto add = [&](const Point& p) {
+        sx += p.x;
+        sy += p.y;
+        ++k;
+      };
+      if (net.driver.valid()) add(pl.pos[static_cast<std::size_t>(net.driver.cell)]);
+      if (net.driven_by_pi()) add(pl.pi_pad[static_cast<std::size_t>(net.pi_index)]);
+      for (const PinRef& s : net.sinks) add(pl.pos[static_cast<std::size_t>(s.cell)]);
+      for (const int po : net.po_sinks) add(pl.po_pad[static_cast<std::size_t>(po)]);
+      net_degree[n] = k;
+      if (k > 0) net_centroid[n] = Point{sx / k, sy / k};
+    }
+    // Pull every cell toward the centroid of its nets.
+    for (const CellId c : movable) {
+      next[static_cast<std::size_t>(c)] = Point{0, 0};
+      weight[static_cast<std::size_t>(c)] = 0;
+    }
+    for (std::size_t c = 0; c < n_cells; ++c) {
+      const CellInst& inst = nl.cell(static_cast<CellId>(c));
+      if (inst.spec->func == CellFunc::kFiller) continue;
+      for (const NetId n : inst.conn) {
+        if (n == kNoNet || !net_active[static_cast<std::size_t>(n)]) continue;
+        const auto ni = static_cast<std::size_t>(n);
+        if (net_degree[ni] < 2) continue;
+        const double w = 1.0 / static_cast<double>(net_degree[ni]);
+        next[c].x += net_centroid[ni].x * w;
+        next[c].y += net_centroid[ni].y * w;
+        weight[c] += w;
+      }
+    }
+    for (const CellId c : movable) {
+      const auto i = static_cast<std::size_t>(c);
+      if (weight[i] > 0) {
+        pl.pos[i] = Point{next[i].x / weight[i], next[i].y / weight[i]};
+      }
+    }
+    // Periodic spreading: keep relative order, restore uniform density.
+    if ((iter + 1) % opts.spread_every == 0 || iter + 1 == opts.global_iterations) {
+      std::iota(rank.begin(), rank.end(), 0);
+      std::stable_sort(rank.begin(), rank.end(), [&](std::size_t a, std::size_t b) {
+        return pl.pos[static_cast<std::size_t>(movable[a])].x <
+               pl.pos[static_cast<std::size_t>(movable[b])].x;
+      });
+      for (std::size_t r = 0; r < rank.size(); ++r) {
+        pl.pos[static_cast<std::size_t>(movable[rank[r]])].x =
+            fp.core_box.lx +
+            (static_cast<double>(r) + 0.5) / static_cast<double>(rank.size()) *
+                fp.core_box.width();
+      }
+      std::iota(rank.begin(), rank.end(), 0);
+      std::stable_sort(rank.begin(), rank.end(), [&](std::size_t a, std::size_t b) {
+        return pl.pos[static_cast<std::size_t>(movable[a])].y <
+               pl.pos[static_cast<std::size_t>(movable[b])].y;
+      });
+      for (std::size_t r = 0; r < rank.size(); ++r) {
+        pl.pos[static_cast<std::size_t>(movable[rank[r]])].y =
+            fp.core_box.ly +
+            (static_cast<double>(r) + 0.5) / static_cast<double>(rank.size()) *
+                fp.core_box.height();
+      }
+    }
+  }
+
+  // ---- legalisation: assign rows by y with balanced fill ----
+  std::vector<CellId> by_y = movable;
+  std::stable_sort(by_y.begin(), by_y.end(), [&](CellId a, CellId b) {
+    return pl.pos[static_cast<std::size_t>(a)].y < pl.pos[static_cast<std::size_t>(b)].y;
+  });
+  double total_width = 0.0;
+  for (const CellId c : by_y) total_width += nl.cell(c).spec->width_um;
+  const double width_per_row = total_width / fp.num_rows;
+  double cum = 0.0;
+  for (const CellId c : by_y) {
+    const double w = nl.cell(c).spec->width_um;
+    int row = std::min(fp.num_rows - 1, static_cast<int>(cum / width_per_row));
+    // Guard against a row overflowing its physical capacity.
+    while (row < fp.num_rows - 1 &&
+           pl.row_used_um[static_cast<std::size_t>(row)] + w > fp.row_length_um) {
+      ++row;
+    }
+    pl.row_order[static_cast<std::size_t>(row)].push_back(c);
+    pl.row_used_um[static_cast<std::size_t>(row)] += w;
+    cum += w;
+  }
+  for (int r = 0; r < fp.num_rows; ++r) repack_row(nl, fp, pl, r);
+  return pl;
+}
+
+void eco_place(const Netlist& nl, const Floorplan& fp, Placement& pl,
+               const std::vector<CellId>& new_cells) {
+  pl.pos.resize(nl.num_cells(), fp.core_box.center());
+  pl.row.resize(nl.num_cells(), -1);
+  for (const CellId c : new_cells) {
+    const CellInst& inst = nl.cell(c);
+    // Connectivity centroid over already-placed neighbours and pads.
+    double sx = 0, sy = 0;
+    int k = 0;
+    for (const NetId n : inst.conn) {
+      if (n == kNoNet) continue;
+      const Net& net = nl.net(n);
+      if (net.driver.valid() && net.driver.cell != c &&
+          pl.row[static_cast<std::size_t>(net.driver.cell)] >= 0) {
+        sx += pl.pos[static_cast<std::size_t>(net.driver.cell)].x;
+        sy += pl.pos[static_cast<std::size_t>(net.driver.cell)].y;
+        ++k;
+      }
+      for (const PinRef& s : net.sinks) {
+        if (s.cell == c || pl.row[static_cast<std::size_t>(s.cell)] < 0) continue;
+        sx += pl.pos[static_cast<std::size_t>(s.cell)].x;
+        sy += pl.pos[static_cast<std::size_t>(s.cell)].y;
+        ++k;
+        if (k > 24) break;  // centroid estimate is enough for huge nets
+      }
+    }
+    const Point desired = k > 0 ? Point{sx / k, sy / k} : fp.core_box.center();
+    const double w = inst.spec->width_um;
+    const int home = fp.nearest_row(desired.y);
+    int chosen = -1;
+    for (int radius = 0; radius < fp.num_rows && chosen < 0; ++radius) {
+      for (const int r : {home - radius, home + radius}) {
+        if (r < 0 || r >= fp.num_rows) continue;
+        if (pl.row_used_um[static_cast<std::size_t>(r)] + w <= fp.row_length_um) {
+          chosen = r;
+          break;
+        }
+      }
+    }
+    if (chosen < 0) {
+      // Pathological overflow: take the least-used row (the repack keeps
+      // the row packed; the core is simply over target utilisation).
+      chosen = 0;
+      for (int r = 1; r < fp.num_rows; ++r) {
+        if (pl.row_used_um[static_cast<std::size_t>(r)] <
+            pl.row_used_um[static_cast<std::size_t>(chosen)]) {
+          chosen = r;
+        }
+      }
+    }
+    pl.pos[static_cast<std::size_t>(c)] = Point{desired.x, fp.row_y(chosen)};
+    pl.row_order[static_cast<std::size_t>(chosen)].push_back(c);
+    repack_row(nl, fp, pl, chosen);
+  }
+}
+
+FillerReport insert_fillers(Netlist& nl, const Floorplan& fp, Placement& pl) {
+  FillerReport report;
+  const auto& fillers = nl.library().fillers();  // widest first
+  if (fillers.empty()) return report;
+  const double site = fp.site_width_um;
+  for (int r = 0; r < fp.num_rows; ++r) {
+    // Collect occupied intervals.
+    struct Span {
+      double lo, hi;
+    };
+    std::vector<Span> spans;
+    for (const CellId c : pl.row_order[static_cast<std::size_t>(r)]) {
+      const double w = nl.cell(c).spec->width_um;
+      const double x = pl.pos[static_cast<std::size_t>(c)].x - w / 2.0;
+      spans.push_back(Span{x, x + w});
+    }
+    std::sort(spans.begin(), spans.end(),
+              [](const Span& a, const Span& b) { return a.lo < b.lo; });
+    double cursor = fp.core_box.lx;
+    const double row_end = fp.core_box.lx + fp.row_length_um;
+    auto fill_gap = [&](double lo, double hi) {
+      int gap_sites = static_cast<int>(std::round((hi - lo) / site));
+      double x = lo;
+      while (gap_sites > 0) {
+        const CellSpec* pick = nullptr;
+        for (const CellSpec* f : fillers) {
+          const int w = static_cast<int>(std::round(f->width_um / site));
+          if (w <= gap_sites) {
+            pick = f;
+            break;
+          }
+        }
+        if (pick == nullptr) break;  // no 1-site filler? (library always has FILL1)
+        const CellId fc =
+            nl.add_cell(pick, "fill_r" + std::to_string(r) + "_" +
+                                  std::to_string(report.cells_added));
+        pl.pos.push_back(Point{x + pick->width_um / 2.0, fp.row_y(r) + fp.row_height_um / 2.0});
+        pl.row.push_back(r);
+        pl.row_order[static_cast<std::size_t>(r)].push_back(fc);
+        ++report.cells_added;
+        report.area_um2 += pick->area_um2();
+        const int w = static_cast<int>(std::round(pick->width_um / site));
+        gap_sites -= w;
+        x += pick->width_um;
+      }
+    };
+    for (const Span& s : spans) {
+      if (s.lo > cursor + 1e-9) fill_gap(cursor, s.lo);
+      cursor = std::max(cursor, s.hi);
+    }
+    if (cursor < row_end - 1e-9) fill_gap(cursor, row_end);
+  }
+  return report;
+}
+
+}  // namespace tpi

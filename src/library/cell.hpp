@@ -1,0 +1,89 @@
+// Standard-cell specifications: logic function, geometry, pins, timing arcs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "library/nldm.hpp"
+
+namespace tpi {
+
+/// Logic function implemented by a cell. `kTsff` is the transparent scan
+/// flip-flop of the paper's Fig. 1 (scan FF + output multiplexer).
+enum class CellFunc {
+  kTie0,
+  kTie1,
+  kBuf,
+  kInv,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+  kMux2,   // Y = S ? B : A
+  kDff,    // D, CK -> Q
+  kSdff,   // D, TI, TE, CK -> Q  (scan flip-flop)
+  kTsff,   // D, TI, TE, TR, CK -> Q  (transparent scan flip-flop, Fig. 1)
+  kClkBuf, // clock-tree buffer
+  kFiller, // row filler (power/ground strip continuity), no pins
+};
+
+bool func_is_sequential(CellFunc f);
+std::string_view func_name(CellFunc f);
+
+enum class PinDir { kInput, kOutput };
+
+struct PinSpec {
+  std::string name;
+  PinDir dir = PinDir::kInput;
+  double cap_ff = 0.0;    ///< input pin capacitance (0 for outputs)
+  bool is_clock = false;  ///< true for CK pins
+};
+
+/// One characterised input→output delay arc.
+struct TimingArc {
+  int from_pin = -1;  ///< index into CellSpec::pins
+  int to_pin = -1;
+  NldmTable delay;     ///< propagation delay (ps)
+  NldmTable out_slew;  ///< output transition time (ps)
+};
+
+struct CellSpec {
+  std::string name;       ///< e.g. "NAND2_X1"
+  CellFunc func = CellFunc::kBuf;
+  int num_inputs = 0;     ///< logic data inputs (excludes CK/TE/TR/TI controls)
+  int drive = 1;          ///< drive strength class (X1/X2/X4/X8)
+  double width_um = 0.0;  ///< multiple of the site width
+  double height_um = 0.0; ///< equal to the row height
+  std::vector<PinSpec> pins;
+  std::vector<TimingArc> arcs;
+
+  // Sequential-only characteristics.
+  bool sequential = false;
+  double setup_ps = 0.0;
+  double hold_ps = 0.0;
+
+  // Cached pin roles (−1 when absent).
+  int output_pin = -1;
+  int clock_pin = -1;
+  int d_pin = -1;
+  int ti_pin = -1;
+  int te_pin = -1;
+  int tr_pin = -1;
+  int select_pin = -1;  // MUX2 S
+
+  double area_um2() const { return width_um * height_um; }
+
+  /// Index of the named pin, or −1.
+  int find_pin(std::string_view pin_name) const;
+
+  /// Arc from the given input pin to the (single) output, or nullptr.
+  const TimingArc* arc_from(int from_pin) const;
+
+  /// Number of input pins (all non-output pins).
+  int input_pin_count() const;
+};
+
+}  // namespace tpi

@@ -1,0 +1,74 @@
+#include "library/nldm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tpi {
+namespace {
+
+// Find the lower index of the axis segment bracketing x, clamped so that
+// [idx, idx+1] is always a valid segment; reports whether x was outside.
+std::size_t bracket(const std::vector<double>& axis, double x, bool& outside) {
+  assert(axis.size() >= 2);
+  if (x < axis.front() || x > axis.back()) outside = true;
+  const auto it = std::upper_bound(axis.begin(), axis.end(), x);
+  std::size_t hi = static_cast<std::size_t>(it - axis.begin());
+  if (hi == 0) hi = 1;
+  if (hi >= axis.size()) hi = axis.size() - 1;
+  return hi - 1;
+}
+
+}  // namespace
+
+NldmTable::NldmTable(std::vector<double> slew_axis_ps, std::vector<double> load_axis_ff,
+                     std::vector<double> values_ps)
+    : slew_axis_(std::move(slew_axis_ps)),
+      load_axis_(std::move(load_axis_ff)),
+      values_(std::move(values_ps)) {
+  assert(slew_axis_.size() >= 2 && load_axis_.size() >= 2);
+  assert(values_.size() == slew_axis_.size() * load_axis_.size());
+  assert(std::is_sorted(slew_axis_.begin(), slew_axis_.end()));
+  assert(std::is_sorted(load_axis_.begin(), load_axis_.end()));
+}
+
+NldmTable::Lookup NldmTable::lookup(double slew_ps, double load_ff) const {
+  Lookup out;
+  if (values_.empty()) return out;
+  bool outside = false;
+  const std::size_t s0 = bracket(slew_axis_, slew_ps, outside);
+  const std::size_t l0 = bracket(load_axis_, load_ff, outside);
+  const double s_lo = slew_axis_[s0], s_hi = slew_axis_[s0 + 1];
+  const double l_lo = load_axis_[l0], l_hi = load_axis_[l0 + 1];
+  const double ts = (slew_ps - s_lo) / (s_hi - s_lo);  // may be <0 or >1: extrapolate
+  const double tl = (load_ff - l_lo) / (l_hi - l_lo);
+  const double v00 = at(s0, l0), v01 = at(s0, l0 + 1);
+  const double v10 = at(s0 + 1, l0), v11 = at(s0 + 1, l0 + 1);
+  const double v0 = v00 + (v01 - v00) * tl;
+  const double v1 = v10 + (v11 - v10) * tl;
+  out.value_ps = v0 + (v1 - v0) * ts;
+  out.extrapolated = outside;
+  return out;
+}
+
+NldmTable make_nldm(double intrinsic_ps, double r_eff_ps_per_ff, double slew_coef,
+                    double cross, double max_load_ff, double max_slew_ps) {
+  std::vector<double> slews, loads;
+  for (int i = 0; i < 5; ++i) {
+    slews.push_back(max_slew_ps * (i * i) / 16.0);  // 0, 1/16, 4/16, 9/16, 1 of range
+    loads.push_back(max_load_ff * (i * i) / 16.0);
+  }
+  // Axis values of exactly 0 are awkward for bracketing near-zero inputs;
+  // nudge the first point slightly positive like real Liberty tables do.
+  slews[0] = 1.0;
+  loads[0] = 0.1;
+  std::vector<double> values;
+  values.reserve(25);
+  for (double s : slews) {
+    for (double l : loads) {
+      values.push_back(intrinsic_ps + r_eff_ps_per_ff * l + slew_coef * s + cross * s * l);
+    }
+  }
+  return NldmTable(std::move(slews), std::move(loads), std::move(values));
+}
+
+}  // namespace tpi

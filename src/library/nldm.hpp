@@ -1,0 +1,57 @@
+// Non-linear delay model (NLDM) lookup tables.
+//
+// Cell delay and output slew are characterised on a (input slew × output
+// load) grid, exactly like a Liberty NLDM table. Static timing analysis
+// interpolates bilinearly inside the grid; outside the grid it extrapolates
+// and flags the lookup, which models the "slow node" effect of the paper's
+// Pearl runs (§4.4: extrapolated cells give less accurate results).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tpi {
+
+class NldmTable {
+ public:
+  NldmTable() = default;
+
+  /// Build a table. `values` is row-major: values[s * load_axis.size() + l]
+  /// for slew index s and load index l. Axes must be strictly ascending and
+  /// non-empty.
+  NldmTable(std::vector<double> slew_axis_ps, std::vector<double> load_axis_ff,
+            std::vector<double> values_ps);
+
+  struct Lookup {
+    double value_ps = 0.0;
+    bool extrapolated = false;  ///< true when (slew, load) fell outside the grid
+  };
+
+  /// Bilinear interpolation; linear extrapolation outside the characterised
+  /// range (sets Lookup::extrapolated).
+  Lookup lookup(double slew_ps, double load_ff) const;
+
+  bool empty() const { return values_.empty(); }
+  double max_load_ff() const { return load_axis_.empty() ? 0.0 : load_axis_.back(); }
+  double max_slew_ps() const { return slew_axis_.empty() ? 0.0 : slew_axis_.back(); }
+
+  const std::vector<double>& slew_axis() const { return slew_axis_; }
+  const std::vector<double>& load_axis() const { return load_axis_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  double at(std::size_t s, std::size_t l) const { return values_[s * load_axis_.size() + l]; }
+
+  std::vector<double> slew_axis_;
+  std::vector<double> load_axis_;
+  std::vector<double> values_;
+};
+
+/// Characterisation helper: synthesises a grid table from the first-order
+/// model  value = intrinsic + r_eff*load + slew_coef*slew + cross*slew*load.
+/// Used by the synthetic phl130 library; a real flow would read Liberty.
+NldmTable make_nldm(double intrinsic_ps, double r_eff_ps_per_ff, double slew_coef,
+                    double cross = 0.0, double max_load_ff = 120.0,
+                    double max_slew_ps = 800.0);
+
+}  // namespace tpi

@@ -1,0 +1,35 @@
+// Reader/writer for the ISCAS'89 ".bench" netlist format.
+//
+// The reader accepts the classic format (INPUT/OUTPUT declarations and
+// AND/OR/NAND/NOR/XOR/XNOR/NOT/BUFF/DFF assignments) so genuine ISCAS
+// benchmarks such as s38417 can be dropped into the flow. Wide gates are
+// decomposed into trees of library cells. DFFs get a synthesised clock
+// input "CLK". The writer emits the same dialect, extended with
+// SDFF(d,ti,te) and TSFF(d,ti,te,tr) so DfT-modified netlists round-trip.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace tpi {
+
+struct BenchReadResult {
+  std::unique_ptr<Netlist> netlist;
+  std::string error;  ///< empty on success
+
+  bool ok() const { return error.empty(); }
+};
+
+BenchReadResult read_bench(std::istream& in, const CellLibrary& lib,
+                           std::string design_name = "bench");
+BenchReadResult read_bench_string(const std::string& text, const CellLibrary& lib,
+                                  std::string design_name = "bench");
+BenchReadResult read_bench_file(const std::string& path, const CellLibrary& lib);
+
+void write_bench(const Netlist& nl, std::ostream& out);
+std::string write_bench_string(const Netlist& nl);
+
+}  // namespace tpi

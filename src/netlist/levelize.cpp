@@ -1,0 +1,108 @@
+#include "netlist/levelize.hpp"
+
+#include <algorithm>
+
+namespace tpi {
+
+bool is_boundary(const Netlist& nl, CellId cell_id, SeqView view) {
+  const CellSpec* spec = nl.cell(cell_id).spec;
+  if (!spec->sequential) return false;
+  if (spec->func == CellFunc::kTsff) return view == SeqView::kCapture;
+  return true;
+}
+
+namespace {
+
+// A cell participates in the combinational graph if it computes logic in
+// this view. Boundaries, clock buffers, fillers and ties-with-no-load all
+// stay out of `order` (ties have no inputs anyway and are handled as
+// constant sources by consumers).
+bool in_graph(const Netlist& nl, CellId cell_id, SeqView view) {
+  const CellSpec* spec = nl.cell(cell_id).spec;
+  switch (spec->func) {
+    case CellFunc::kFiller:
+    case CellFunc::kClkBuf:
+    case CellFunc::kTie0:
+    case CellFunc::kTie1:
+      return false;
+    default:
+      break;
+  }
+  if (spec->sequential) return !is_boundary(nl, cell_id, view);
+  return true;
+}
+
+// Input pins whose value feeds the cell's combinational function in this
+// view. For a transparent TSFF only D matters (TI/TE/TR are test-mode).
+void logic_input_pins(const Netlist& nl, CellId cell_id, std::vector<int>& pins) {
+  pins.clear();
+  const CellSpec* spec = nl.cell(cell_id).spec;
+  if (spec->func == CellFunc::kTsff) {
+    pins.push_back(spec->d_pin);
+    return;
+  }
+  for (std::size_t p = 0; p < spec->pins.size(); ++p) {
+    const PinSpec& ps = spec->pins[p];
+    if (ps.dir != PinDir::kInput || ps.is_clock) continue;
+    // Scan pins of regular flip-flops are not part of the logic function.
+    const int ip = static_cast<int>(p);
+    if (ip == spec->ti_pin || ip == spec->te_pin || ip == spec->tr_pin) continue;
+    pins.push_back(ip);
+  }
+}
+
+}  // namespace
+
+TopoOrder levelize(const Netlist& nl, SeqView view) {
+  TopoOrder out;
+  const std::size_t n = nl.num_cells();
+  out.level.assign(n, -1);
+  std::vector<int> indegree(n, 0);
+  std::vector<char> active(n, 0);
+  std::vector<int> pins;
+
+  for (std::size_t c = 0; c < n; ++c) {
+    const CellId id = static_cast<CellId>(c);
+    if (!in_graph(nl, id, view)) continue;
+    active[c] = 1;
+    logic_input_pins(nl, id, pins);
+    for (int p : pins) {
+      const NetId net = nl.cell(id).conn[static_cast<std::size_t>(p)];
+      if (net == kNoNet) continue;
+      const PinRef drv = nl.net(net).driver;
+      if (drv.valid() && in_graph(nl, drv.cell, view)) ++indegree[c];
+    }
+  }
+
+  std::vector<CellId> queue;
+  for (std::size_t c = 0; c < n; ++c) {
+    if (active[c] && indegree[c] == 0) {
+      queue.push_back(static_cast<CellId>(c));
+      out.level[c] = 0;
+    }
+  }
+
+  out.order.reserve(n);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const CellId c = queue[head];
+    out.order.push_back(c);
+    const NetId onet = nl.cell(c).output_net();
+    if (onet == kNoNet) continue;
+    for (const PinRef& sink : nl.net(onet).sinks) {
+      const std::size_t sc = static_cast<std::size_t>(sink.cell);
+      if (!active[sc]) continue;
+      // Only count edges into logic pins (a clock pin load is not a logic edge).
+      logic_input_pins(nl, sink.cell, pins);
+      if (std::find(pins.begin(), pins.end(), sink.pin) == pins.end()) continue;
+      out.level[sc] = std::max(out.level[sc], out.level[static_cast<std::size_t>(c)] + 1);
+      if (--indegree[sc] == 0) queue.push_back(sink.cell);
+    }
+  }
+
+  std::size_t active_count = 0;
+  for (std::size_t c = 0; c < n; ++c) active_count += active[c];
+  out.acyclic = (out.order.size() == active_count);
+  return out;
+}
+
+}  // namespace tpi

@@ -1,0 +1,94 @@
+#include "sim/comb_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tpi {
+
+CombModel::CombModel(const Netlist& nl, SeqView view) : nl_(&nl), view_(view) {
+  const TopoOrder topo = levelize(nl, view);
+  acyclic_ = topo.acyclic;
+  producer_.assign(nl.num_nets(), -1);
+  readers_.assign(nl.num_nets(), {});
+
+  nodes_.reserve(topo.order.size());
+  for (const CellId cid : topo.order) {
+    const CellInst& inst = nl.cell(cid);
+    const CellSpec* spec = inst.spec;
+    CombNode node;
+    node.cell = cid;
+    node.func = spec->func;
+    node.level = topo.level[static_cast<std::size_t>(cid)];
+    max_level_ = std::max(max_level_, node.level);
+    node.out = inst.output_net();
+    if (spec->func == CellFunc::kTsff) {
+      // Transparent test point: out follows D (application mode).
+      node.num_inputs = 1;
+      node.in[0] = inst.conn[static_cast<std::size_t>(spec->d_pin)];
+    } else if (spec->func == CellFunc::kMux2) {
+      node.num_inputs = 2;
+      node.in[0] = inst.conn[static_cast<std::size_t>(spec->find_pin("A"))];
+      node.in[1] = inst.conn[static_cast<std::size_t>(spec->find_pin("B"))];
+      node.sel = inst.conn[static_cast<std::size_t>(spec->select_pin)];
+    } else {
+      int k = 0;
+      for (std::size_t p = 0; p < spec->pins.size(); ++p) {
+        const PinSpec& ps = spec->pins[p];
+        if (ps.dir != PinDir::kInput || ps.is_clock) continue;
+        const int ip = static_cast<int>(p);
+        if (ip == spec->ti_pin || ip == spec->te_pin || ip == spec->tr_pin) continue;
+        const NetId n = inst.conn[p];
+        if (n == kNoNet) continue;
+        assert(k < 4);
+        node.in[k++] = n;
+      }
+      node.num_inputs = k;
+    }
+    const int idx = static_cast<int>(nodes_.size());
+    if (node.out != kNoNet) producer_[static_cast<std::size_t>(node.out)] = idx;
+    for (int i = 0; i < node.num_inputs; ++i) {
+      if (node.in[i] != kNoNet) readers_[static_cast<std::size_t>(node.in[i])].push_back(idx);
+    }
+    if (node.sel != kNoNet) readers_[static_cast<std::size_t>(node.sel)].push_back(idx);
+    nodes_.push_back(node);
+  }
+
+  // Inputs: non-clock PIs, then boundary-FF outputs (pseudo-PIs).
+  for (std::size_t i = 0; i < nl.num_pis(); ++i) {
+    const int pi = static_cast<int>(i);
+    if (nl.is_clock_net(nl.pi_net(pi))) continue;
+    input_nets_.push_back(nl.pi_net(pi));
+  }
+  num_pi_inputs_ = input_nets_.size();
+
+  for (std::size_t c = 0; c < nl.num_cells(); ++c) {
+    const CellId cid = static_cast<CellId>(c);
+    const CellInst& inst = nl.cell(cid);
+    if (!inst.spec->sequential || !is_boundary(nl, cid, view)) continue;
+    boundary_ffs_.push_back(cid);
+    const NetId q = inst.output_net();
+    if (q != kNoNet) input_nets_.push_back(q);
+  }
+
+  // Observables: POs, then boundary-FF D nets (pseudo-POs).
+  for (std::size_t i = 0; i < nl.num_pos(); ++i) {
+    observe_nets_.push_back(nl.po_net(static_cast<int>(i)));
+  }
+  num_po_observes_ = observe_nets_.size();
+  for (const CellId cid : boundary_ffs_) {
+    const CellInst& inst = nl.cell(cid);
+    const NetId d = inst.conn[static_cast<std::size_t>(inst.spec->d_pin)];
+    if (d != kNoNet) observe_nets_.push_back(d);
+  }
+
+  for (std::size_t c = 0; c < nl.num_cells(); ++c) {
+    const CellInst& inst = nl.cell(static_cast<CellId>(c));
+    if (inst.spec->func == CellFunc::kTie0) {
+      if (inst.output_net() != kNoNet) const0_nets_.push_back(inst.output_net());
+    } else if (inst.spec->func == CellFunc::kTie1) {
+      if (inst.output_net() != kNoNet) const1_nets_.push_back(inst.output_net());
+    }
+  }
+}
+
+}  // namespace tpi

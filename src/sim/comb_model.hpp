@@ -1,0 +1,81 @@
+// Compiled combinational view of a netlist for fast repeated evaluation.
+//
+// The model flattens the topologically-ordered combinational cells of a
+// SeqView into a dense node array with cached net indices, and records the
+// circuit's controllable inputs (PIs + pseudo-PIs = flip-flop outputs) and
+// observable outputs (POs + pseudo-POs = flip-flop D nets). In the capture
+// view this is exactly the full-scan test model the paper's ATPG operates
+// on; in the application view TSFFs appear as transparent nodes.
+#pragma once
+
+#include <vector>
+
+#include "netlist/levelize.hpp"
+#include "netlist/netlist.hpp"
+
+namespace tpi {
+
+struct CombNode {
+  CellId cell = kNoCell;
+  CellFunc func = CellFunc::kBuf;
+  int num_inputs = 0;      ///< logic inputs actually connected
+  NetId in[4] = {kNoNet, kNoNet, kNoNet, kNoNet};
+  NetId sel = kNoNet;      ///< MUX2 select
+  NetId out = kNoNet;
+  int level = 0;
+};
+
+class CombModel {
+ public:
+  CombModel(const Netlist& nl, SeqView view);
+
+  const Netlist& netlist() const { return *nl_; }
+  SeqView view() const { return view_; }
+  bool acyclic() const { return acyclic_; }
+
+  const std::vector<CombNode>& nodes() const { return nodes_; }
+
+  /// Node index computing each net, or −1 (inputs, constants, boundaries).
+  int producer_of(NetId net) const { return producer_[static_cast<std::size_t>(net)]; }
+  /// Node indices reading each net (logic pins only), ascending topo order.
+  const std::vector<int>& readers_of(NetId net) const {
+    return readers_[static_cast<std::size_t>(net)];
+  }
+
+  /// Controllable nets: non-clock PI nets followed by boundary-FF Q nets.
+  const std::vector<NetId>& input_nets() const { return input_nets_; }
+  std::size_t num_pi_inputs() const { return num_pi_inputs_; }  ///< prefix that are real PIs
+
+  /// Observable nets: PO nets followed by boundary-FF D nets (pseudo-POs).
+  const std::vector<NetId>& observe_nets() const { return observe_nets_; }
+  std::size_t num_po_observes() const { return num_po_observes_; }
+
+  /// Boundary flip-flops in this view, aligned with the pseudo-PI/PPO
+  /// portions of input_nets()/observe_nets().
+  const std::vector<CellId>& boundary_ffs() const { return boundary_ffs_; }
+
+  /// Nets tied to constants by TIE cells.
+  const std::vector<NetId>& const0_nets() const { return const0_nets_; }
+  const std::vector<NetId>& const1_nets() const { return const1_nets_; }
+
+  std::size_t num_nets() const { return nl_->num_nets(); }
+  int max_level() const { return max_level_; }
+
+ private:
+  const Netlist* nl_;
+  SeqView view_;
+  bool acyclic_ = true;
+  std::vector<CombNode> nodes_;
+  std::vector<int> producer_;
+  std::vector<std::vector<int>> readers_;
+  std::vector<NetId> input_nets_;
+  std::size_t num_pi_inputs_ = 0;
+  std::vector<NetId> observe_nets_;
+  std::size_t num_po_observes_ = 0;
+  std::vector<CellId> boundary_ffs_;
+  std::vector<NetId> const0_nets_;
+  std::vector<NetId> const1_nets_;
+  int max_level_ = 0;
+};
+
+}  // namespace tpi

@@ -1,0 +1,74 @@
+#include "sim/parallel_sim.hpp"
+
+#include <cassert>
+
+namespace tpi {
+
+Word eval_node_word(const CombNode& node, const Word* in, Word sel) {
+  switch (node.func) {
+    case CellFunc::kBuf:
+    case CellFunc::kClkBuf:
+    case CellFunc::kTsff:  // transparent in application mode
+      return in[0];
+    case CellFunc::kInv:
+      return ~in[0];
+    case CellFunc::kAnd:
+    case CellFunc::kNand: {
+      Word acc = in[0];
+      for (int i = 1; i < node.num_inputs; ++i) acc &= in[i];
+      return node.func == CellFunc::kAnd ? acc : ~acc;
+    }
+    case CellFunc::kOr:
+    case CellFunc::kNor: {
+      Word acc = in[0];
+      for (int i = 1; i < node.num_inputs; ++i) acc |= in[i];
+      return node.func == CellFunc::kOr ? acc : ~acc;
+    }
+    case CellFunc::kXor:
+    case CellFunc::kXnor: {
+      Word acc = in[0];
+      for (int i = 1; i < node.num_inputs; ++i) acc ^= in[i];
+      return node.func == CellFunc::kXor ? acc : ~acc;
+    }
+    case CellFunc::kMux2:
+      return (in[0] & ~sel) | (in[1] & sel);
+    default:
+      return 0;
+  }
+}
+
+ParallelSim::ParallelSim(const CombModel& model) : model_(&model) {
+  value_.assign(model.num_nets(), 0);
+  for (const NetId n : model.const1_nets()) value_[static_cast<std::size_t>(n)] = ~Word{0};
+}
+
+void ParallelSim::load_inputs(const std::vector<Word>& words) {
+  const auto& nets = model_->input_nets();
+  assert(words.size() == nets.size());
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    value_[static_cast<std::size_t>(nets[i])] = words[i];
+  }
+}
+
+void ParallelSim::run() {
+  Word in[4] = {0, 0, 0, 0};
+  for (const CombNode& node : model_->nodes()) {
+    for (int i = 0; i < node.num_inputs; ++i) {
+      in[i] = value_[static_cast<std::size_t>(node.in[i])];
+    }
+    const Word sel = node.sel != kNoNet ? value_[static_cast<std::size_t>(node.sel)] : 0;
+    if (node.out != kNoNet) {
+      value_[static_cast<std::size_t>(node.out)] = eval_node_word(node, in, sel);
+    }
+  }
+}
+
+void ParallelSim::read_observes(std::vector<Word>& out) const {
+  const auto& nets = model_->observe_nets();
+  out.resize(nets.size());
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    out[i] = value_[static_cast<std::size_t>(nets[i])];
+  }
+}
+
+}  // namespace tpi

@@ -1,0 +1,42 @@
+// Cycle-accurate functional (application-mode) simulation.
+//
+// Models the circuit as seen in the field: TE=TR=0, TSFFs transparent,
+// DFF/SDFF state advances on each clock. Used by the examples and by tests
+// that verify TPI preserves functional behaviour (a test point must be
+// logically invisible in application mode).
+#pragma once
+
+#include <vector>
+
+#include "sim/parallel_sim.hpp"
+
+namespace tpi {
+
+class SequentialSim {
+ public:
+  explicit SequentialSim(const Netlist& nl);
+
+  /// Number of state bits (application-view boundary flip-flops).
+  std::size_t num_state_bits() const { return model_.boundary_ffs().size(); }
+
+  /// Reset all flip-flops to 0.
+  void reset();
+
+  /// Apply one clock cycle: drive the PI words, evaluate, sample POs, then
+  /// advance flip-flop state from the D inputs. Each word carries 64
+  /// independent simulation instances.
+  void step(const std::vector<Word>& pi_words, std::vector<Word>& po_words);
+
+  /// State vector aligned with application-view boundary FFs.
+  const std::vector<Word>& state() const { return state_; }
+  void set_state(const std::vector<Word>& s) { state_ = s; }
+
+  const CombModel& model() const { return model_; }
+
+ private:
+  CombModel model_;
+  ParallelSim sim_;
+  std::vector<Word> state_;
+};
+
+}  // namespace tpi

@@ -1,0 +1,45 @@
+// Three-valued (0/1/X) logic used by the PODEM test generator.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/comb_model.hpp"
+
+namespace tpi {
+
+enum class Tern : std::uint8_t { k0 = 0, k1 = 1, kX = 2 };
+
+inline Tern tern_not(Tern a) {
+  if (a == Tern::kX) return Tern::kX;
+  return a == Tern::k0 ? Tern::k1 : Tern::k0;
+}
+
+inline Tern tern_and(Tern a, Tern b) {
+  if (a == Tern::k0 || b == Tern::k0) return Tern::k0;
+  if (a == Tern::k1 && b == Tern::k1) return Tern::k1;
+  return Tern::kX;
+}
+
+inline Tern tern_or(Tern a, Tern b) {
+  if (a == Tern::k1 || b == Tern::k1) return Tern::k1;
+  if (a == Tern::k0 && b == Tern::k0) return Tern::k0;
+  return Tern::kX;
+}
+
+inline Tern tern_xor(Tern a, Tern b) {
+  if (a == Tern::kX || b == Tern::kX) return Tern::kX;
+  return a == b ? Tern::k0 : Tern::k1;
+}
+
+inline Tern tern_mux(Tern a, Tern b, Tern s) {
+  if (s == Tern::k0) return a;
+  if (s == Tern::k1) return b;
+  // s unknown: output known only when both data inputs agree on a value.
+  if (a == b && a != Tern::kX) return a;
+  return Tern::kX;
+}
+
+/// Evaluate a combinational node over ternary inputs.
+Tern eval_node_tern(const CombNode& node, const Tern* in, Tern sel);
+
+}  // namespace tpi

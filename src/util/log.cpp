@@ -1,0 +1,37 @@
+#include "util/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace tpi {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+
+double elapsed_seconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%8.2fs %s] %s\n", elapsed_seconds(), tag(level), msg.c_str());
+}
+
+}  // namespace tpi

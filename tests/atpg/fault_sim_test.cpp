@@ -1,0 +1,153 @@
+#include "atpg/fault_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.hpp"
+#include "circuits/generator.hpp"
+#include "util/rng.hpp"
+
+namespace tpi {
+namespace {
+
+using test::lib;
+
+class SmallCombFaultSim : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    nl_ = test::make_small_comb();
+    model_ = std::make_unique<CombModel>(*nl_, SeqView::kCapture);
+    fsim_ = std::make_unique<FaultSimulator>(*model_);
+  }
+  // One pattern per bit: a=bit0, b=bit1, c=bit2 of the row index.
+  void load_exhaustive() {
+    std::vector<Word> words(3, 0);
+    for (int row = 0; row < 8; ++row) {
+      for (int i = 0; i < 3; ++i) {
+        if (row & (1 << i)) words[static_cast<std::size_t>(i)] |= Word{1} << row;
+      }
+    }
+    fsim_->load_batch(words);
+  }
+  Fault stem(const char* net, bool sa1) {
+    Fault f;
+    f.net = nl_->find_net(net);
+    f.stuck1 = sa1;
+    return f;
+  }
+  std::unique_ptr<Netlist> nl_;
+  std::unique_ptr<CombModel> model_;
+  std::unique_ptr<FaultSimulator> fsim_;
+};
+
+TEST_F(SmallCombFaultSim, StemFaultDetectedOnExpectedPatterns) {
+  load_exhaustive();
+  // y-sa0 is detected iff y==1 (a=b=0) and observable (c=1): row c=1,a=0,b=0
+  // -> row 4. Observed at z and onward at w.
+  const Word d = fsim_->detects(stem("y", false));
+  EXPECT_EQ(d, Word{1} << 4);
+}
+
+TEST_F(SmallCombFaultSim, StuckValueEqualGoodIsUndetected) {
+  load_exhaustive();
+  // z sa0 where z is 0 in rows != 4 only detected on row 4.
+  const Word d = fsim_->detects(stem("z", false));
+  EXPECT_EQ(d, Word{1} << 4);
+  // z sa1: detected whenever z==0 (all rows but 4): via po_z directly.
+  // (Bits above row 7 carry the all-zero pattern, which also detects.)
+  const Word d1 = fsim_->detects(stem("z", true));
+  EXPECT_EQ(d1 & 0xFF, static_cast<Word>(0xFF & ~(1u << 4)));
+}
+
+TEST_F(SmallCombFaultSim, BranchFaultNarrowerThanStem) {
+  load_exhaustive();
+  // a fans out to g1 (NOR) and g3 (XOR). The stem affects both paths; the
+  // g3 branch affects only w.
+  Fault branch = stem("a", true);
+  const Net& net = nl_->net(branch.net);
+  ASSERT_EQ(net.sinks.size(), 2u);
+  for (const PinRef& s : net.sinks) {
+    if (nl_->cell(s.cell).name == "g3") branch.branch = s;
+  }
+  ASSERT_TRUE(branch.branch.valid());
+  const Word stem_d = fsim_->detects(stem("a", true));
+  const Word branch_d = fsim_->detects(branch);
+  // Branch detection patterns form a subset... not strictly (masking), but
+  // both must be nonempty here and branch must not detect where a==1.
+  EXPECT_NE(stem_d, Word{0});
+  EXPECT_NE(branch_d, Word{0});
+  for (int row = 0; row < 8; ++row) {
+    if (row & 1) EXPECT_EQ((branch_d >> row) & 1, 0u) << "activation requires a=0";
+  }
+}
+
+TEST_F(SmallCombFaultSim, DropDetectedMarksFaults) {
+  load_exhaustive();
+  std::vector<Fault> faults{stem("y", false), stem("y", true), stem("w", false)};
+  std::vector<Fault*> ptrs{&faults[0], &faults[1], &faults[2]};
+  const Word useful = fsim_->drop_detected(ptrs);
+  EXPECT_NE(useful, Word{0});
+  for (const Fault& f : faults) EXPECT_EQ(f.status, FaultStatus::kDetected);
+}
+
+// Cross-check: event-driven fault simulation agrees with brute-force
+// "rebuild the whole circuit with the fault injected" simulation.
+TEST(FaultSimPropertyTest, AgreesWithFullResimulation) {
+  const auto& L = test::lib();
+  auto nl = generate_circuit(L, test::tiny_profile(21));
+  CombModel model(*nl, SeqView::kCapture);
+  FaultSimulator fsim(model);
+  FaultList fl = build_fault_list(model);
+  Rng rng(5);
+  std::vector<Word> words(model.input_nets().size());
+  for (auto& w : words) w = rng.next_u64();
+  fsim.load_batch(words);
+
+  ParallelSim good(model);
+  good.load_inputs(words);
+  good.run();
+  std::vector<Word> good_obs;
+  good.read_observes(good_obs);
+
+  int checked = 0;
+  for (const Fault& f : fl.faults) {
+    if (f.status == FaultStatus::kScanTested) continue;
+    if (!f.is_stem()) continue;  // brute force below handles stems
+    if (++checked > 120) break;
+    // Brute force: force the net value and resimulate everything.
+    ParallelSim bad(model);
+    bad.load_inputs(words);
+    // Evaluate with the stuck value overriding the net after each full run;
+    // iterate to a fixed point (two passes suffice for acyclic logic).
+    bad.run();
+    bad.set_value(f.net, f.stuck1 ? ~Word{0} : Word{0});
+    // Re-run all nodes downstream by running the full sweep again with the
+    // forced value re-applied afterwards until stable.
+    for (int pass = 0; pass < 2; ++pass) {
+      std::vector<Word> saved(bad.values());
+      saved[static_cast<std::size_t>(f.net)] = f.stuck1 ? ~Word{0} : Word{0};
+      // Manual sweep honouring the forced net.
+      for (const CombNode& node : model.nodes()) {
+        Word in[4];
+        for (int i = 0; i < node.num_inputs; ++i) {
+          in[i] = saved[static_cast<std::size_t>(node.in[i])];
+        }
+        const Word sel = node.sel != kNoNet ? saved[static_cast<std::size_t>(node.sel)] : 0;
+        if (node.out != kNoNet && node.out != f.net) {
+          saved[static_cast<std::size_t>(node.out)] = eval_node_word(node, in, sel);
+        }
+      }
+      for (std::size_t i = 0; i < saved.size(); ++i) {
+        bad.set_value(static_cast<NetId>(i), saved[i]);
+      }
+    }
+    Word brute = 0;
+    for (std::size_t i = 0; i < model.observe_nets().size(); ++i) {
+      brute |= bad.value(model.observe_nets()[i]) ^ good_obs[i];
+    }
+    EXPECT_EQ(fsim.detects(f), brute) << "stem fault on " << nl->net(f.net).name;
+  }
+  EXPECT_GT(checked, 60);
+}
+
+}  // namespace
+}  // namespace tpi

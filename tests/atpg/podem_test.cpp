@@ -1,0 +1,210 @@
+#include "atpg/podem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.hpp"
+#include "atpg/fault_sim.hpp"
+#include "circuits/generator.hpp"
+
+namespace tpi {
+namespace {
+
+using test::lib;
+
+// Apply a PODEM cube (random-free: X -> 0) and check the fault is detected.
+bool cube_detects(const CombModel& model, const Fault& f, const std::vector<Tern>& cube) {
+  FaultSimulator fsim(model);
+  std::vector<Word> words(model.input_nets().size(), 0);
+  for (std::size_t i = 0; i < cube.size(); ++i) {
+    if (cube[i] == Tern::k1) words[i] = ~Word{0};
+  }
+  fsim.load_batch(words);
+  Fault probe = f;
+  return fsim.detects(probe) != 0;
+}
+
+TEST(PodemTest, FindsTestsForFullyTestableCircuit) {
+  auto nl = test::make_small_comb();
+  CombModel model(*nl, SeqView::kCapture);
+  const TestabilityResult t = analyze_testability(model);
+  FaultList fl = build_fault_list(model);
+  Podem podem(model, t, {});
+  for (const Fault& f : fl.faults) {
+    const PodemResult r = podem.generate(f);
+    EXPECT_EQ(r.outcome, PodemOutcome::kTest)
+        << nl->net(f.net).name << " sa" << f.stuck1;
+    if (r.outcome == PodemOutcome::kTest) {
+      EXPECT_TRUE(cube_detects(model, f, r.cube))
+          << "cube does not detect " << nl->net(f.net).name << " sa" << f.stuck1;
+    }
+  }
+}
+
+TEST(PodemTest, ProvesRedundancyOfConstantLogic) {
+  // z = AND(a, NOT(a)) is constant 0: z sa0 is undetectable.
+  Netlist nl(&lib(), "const");
+  const int a = nl.add_primary_input("a");
+  const CellSpec* inv = lib().gate(CellFunc::kInv, 1);
+  const CellSpec* and2 = lib().gate(CellFunc::kAnd, 2);
+  const CellId g1 = nl.add_cell(inv, "g1");
+  nl.connect(g1, 0, nl.pi_net(a));
+  const NetId na = nl.add_net("na");
+  nl.connect(g1, inv->output_pin, na);
+  const CellId g2 = nl.add_cell(and2, "g2");
+  nl.connect(g2, 0, nl.pi_net(a));
+  nl.connect(g2, 1, na);
+  const NetId z = nl.add_net("z");
+  nl.connect(g2, and2->output_pin, z);
+  nl.add_primary_output("po", z);
+
+  CombModel model(nl, SeqView::kCapture);
+  const TestabilityResult t = analyze_testability(model);
+  Podem podem(model, t, {});
+  Fault sa0;
+  sa0.net = z;
+  sa0.stuck1 = false;
+  EXPECT_EQ(podem.generate(sa0).outcome, PodemOutcome::kRedundant);
+  Fault sa1 = sa0;
+  sa1.stuck1 = true;  // z==0 always, so sa1 is testable
+  EXPECT_EQ(podem.generate(sa1).outcome, PodemOutcome::kTest);
+}
+
+TEST(PodemTest, SolvesWideDecodeStructures) {
+  // The hard-block shape: a 12-wide AND decode with mixed polarities into
+  // an observable XOR. PODEM must justify all 12 literals.
+  Netlist nl(&lib(), "decode");
+  const CellSpec* and2 = lib().gate(CellFunc::kAnd, 2);
+  const CellSpec* inv = lib().gate(CellFunc::kInv, 1);
+  const CellSpec* xor2 = lib().gate(CellFunc::kXor, 2);
+  std::vector<NetId> lits;
+  for (int i = 0; i < 12; ++i) {
+    const NetId pi = nl.pi_net(nl.add_primary_input("a" + std::to_string(i)));
+    if (i % 2) {
+      const CellId g = nl.add_cell(inv, "i" + std::to_string(i));
+      nl.connect(g, 0, pi);
+      const NetId y = nl.add_net("ai" + std::to_string(i));
+      nl.connect(g, inv->output_pin, y);
+      lits.push_back(y);
+    } else {
+      lits.push_back(pi);
+    }
+  }
+  int id = 0;
+  while (lits.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < lits.size(); i += 2) {
+      const CellId g = nl.add_cell(and2, "t" + std::to_string(id));
+      nl.connect(g, 0, lits[i]);
+      nl.connect(g, 1, lits[i + 1]);
+      const NetId y = nl.add_net("ty" + std::to_string(id++));
+      nl.connect(g, and2->output_pin, y);
+      next.push_back(y);
+    }
+    if (lits.size() % 2) next.push_back(lits.back());
+    lits = std::move(next);
+  }
+  const NetId side = nl.pi_net(nl.add_primary_input("side"));
+  const CellId m = nl.add_cell(xor2, "m");
+  nl.connect(m, 0, lits.front());
+  nl.connect(m, 1, side);
+  const NetId w = nl.add_net("w");
+  nl.connect(m, xor2->output_pin, w);
+  nl.add_primary_output("po", w);
+
+  CombModel model(nl, SeqView::kCapture);
+  const TestabilityResult t = analyze_testability(model);
+  FaultList fl = build_fault_list(model);
+  Podem podem(model, t, {});
+  int tests = 0;
+  for (const Fault& f : fl.faults) {
+    const PodemResult r = podem.generate(f);
+    EXPECT_EQ(r.outcome, PodemOutcome::kTest) << nl.net(f.net).name << " sa" << f.stuck1;
+    tests += r.outcome == PodemOutcome::kTest;
+    if (r.outcome == PodemOutcome::kTest) EXPECT_TRUE(cube_detects(model, f, r.cube));
+  }
+  EXPECT_GT(tests, 20);
+}
+
+// Ground-truth property: on small generated circuits, PODEM verdicts must
+// match exhaustive simulation exactly (soundness in both directions).
+TEST(PodemPropertyTest, MatchesExhaustiveGroundTruth) {
+  int checked = 0;
+  for (unsigned seed = 1; seed <= 20; ++seed) {
+    CircuitProfile p;
+    p.name = "prop";
+    p.num_ffs = 4;
+    p.num_comb_gates = 60;
+    p.num_pis = 8;
+    p.num_pos = 6;
+    p.num_clock_domains = 1;
+    p.domain_fraction = {1.0};
+    p.target_depth = 8;
+    p.num_hard_blocks = 1;
+    p.hard_block_width = 4;
+    p.hard_classes_per_block = 3;
+    p.hard_mode_bits = 2;
+    p.num_hub_signals = 2;
+    p.hub_pick_prob = 0.02;
+    p.seed = seed * 977;
+    auto nl = generate_circuit(lib(), p);
+    CombModel m(*nl, SeqView::kCapture);
+    const std::size_t ni = m.input_nets().size();
+    if (ni > 16) continue;
+    const TestabilityResult t = analyze_testability(m);
+    FaultList fl = build_fault_list(m);
+    FaultSimulator fs(m);
+    Podem pod(m, t, {});
+
+    std::vector<char> detectable(fl.faults.size(), 0);
+    const unsigned total = 1u << ni;
+    for (unsigned base = 0; base < total; base += 64) {
+      std::vector<Word> words(ni, 0);
+      for (unsigned k = 0; k < 64 && base + k < total; ++k) {
+        for (std::size_t i = 0; i < ni; ++i) {
+          if ((base + k) & (1u << i)) words[i] |= Word{1} << k;
+        }
+      }
+      fs.load_batch(words);
+      for (std::size_t fi = 0; fi < fl.faults.size(); ++fi) {
+        if (detectable[fi] || fl.faults[fi].status == FaultStatus::kScanTested) continue;
+        if (fs.detects(fl.faults[fi])) detectable[fi] = 1;
+      }
+    }
+    for (std::size_t fi = 0; fi < fl.faults.size(); ++fi) {
+      const Fault& f = fl.faults[fi];
+      if (f.status == FaultStatus::kScanTested) continue;
+      const PodemResult r = pod.generate(f);
+      ++checked;
+      if (r.outcome == PodemOutcome::kRedundant) {
+        EXPECT_FALSE(detectable[fi])
+            << "seed " << seed << ": false redundancy proof for fault on "
+            << nl->net(f.net).name << " sa" << f.stuck1;
+      }
+      if (r.outcome == PodemOutcome::kTest) {
+        EXPECT_TRUE(detectable[fi])
+            << "seed " << seed << ": PODEM 'test' for undetectable fault on "
+            << nl->net(f.net).name;
+      }
+    }
+  }
+  EXPECT_GT(checked, 1500);
+}
+
+TEST(PodemTest, BacktrackLimitYieldsAborted) {
+  auto nl = generate_circuit(lib(), test::tiny_profile(31));
+  CombModel model(*nl, SeqView::kCapture);
+  const TestabilityResult t = analyze_testability(model);
+  PodemOptions opts;
+  opts.backtrack_limit = 0;  // give up immediately on any conflict
+  Podem podem(model, t, opts);
+  FaultList fl = build_fault_list(model);
+  int aborted = 0;
+  for (const Fault& f : fl.faults) {
+    if (f.status == FaultStatus::kScanTested) continue;
+    aborted += podem.generate(f).outcome == PodemOutcome::kAborted;
+  }
+  EXPECT_GT(aborted, 0);
+}
+
+}  // namespace
+}  // namespace tpi

@@ -1,0 +1,146 @@
+#include "circuits/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+
+#include "../common/test_circuits.hpp"
+#include "netlist/levelize.hpp"
+
+namespace tpi {
+namespace {
+
+using test::lib;
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  const CircuitProfile p = test::tiny_profile(99);
+  auto a = generate_circuit(lib(), p);
+  auto b = generate_circuit(lib(), p);
+  ASSERT_EQ(a->num_cells(), b->num_cells());
+  ASSERT_EQ(a->num_nets(), b->num_nets());
+  for (std::size_t c = 0; c < a->num_cells(); ++c) {
+    EXPECT_EQ(a->cell(static_cast<CellId>(c)).spec, b->cell(static_cast<CellId>(c)).spec);
+    EXPECT_EQ(a->cell(static_cast<CellId>(c)).conn, b->cell(static_cast<CellId>(c)).conn);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  auto a = generate_circuit(lib(), test::tiny_profile(1));
+  auto b = generate_circuit(lib(), test::tiny_profile(2));
+  bool differ = a->num_cells() != b->num_cells();
+  for (std::size_t c = 0; !differ && c < a->num_cells(); ++c) {
+    differ = a->cell(static_cast<CellId>(c)).conn != b->cell(static_cast<CellId>(c)).conn;
+  }
+  EXPECT_TRUE(differ);
+}
+
+class ProfileTest : public ::testing::TestWithParam<CircuitProfile> {};
+
+TEST_P(ProfileTest, MatchesRequestedStatistics) {
+  const CircuitProfile p = GetParam();
+  auto nl = generate_circuit(lib(), p);
+  EXPECT_TRUE(nl->validate().empty()) << nl->validate();
+  EXPECT_EQ(static_cast<int>(nl->flip_flops().size()), p.num_ffs);
+  EXPECT_EQ(static_cast<int>(nl->clock_pis().size()), p.num_clock_domains);
+  const Netlist::Stats s = nl->stats();
+  // Combinational cell count within 15% of target.
+  EXPECT_NEAR(static_cast<double>(s.combinational), p.num_comb_gates,
+              0.15 * p.num_comb_gates);
+  // Paper-declared POs plus observation outputs.
+  EXPECT_GE(static_cast<int>(nl->num_pos()), p.num_pos);
+}
+
+TEST_P(ProfileTest, CombinationallyAcyclicInBothViews) {
+  auto nl = generate_circuit(lib(), GetParam());
+  EXPECT_TRUE(levelize(*nl, SeqView::kApplication).acyclic);
+  EXPECT_TRUE(levelize(*nl, SeqView::kCapture).acyclic);
+}
+
+TEST_P(ProfileTest, EveryFlipFlopFullyConnected) {
+  auto nl = generate_circuit(lib(), GetParam());
+  for (const CellId ff : nl->flip_flops()) {
+    const CellInst& inst = nl->cell(ff);
+    EXPECT_NE(inst.conn[static_cast<std::size_t>(inst.spec->d_pin)], kNoNet);
+    EXPECT_NE(inst.conn[static_cast<std::size_t>(inst.spec->clock_pin)], kNoNet);
+    EXPECT_NE(inst.output_net(), kNoNet);
+    EXPECT_TRUE(nl->is_clock_net(inst.conn[static_cast<std::size_t>(inst.spec->clock_pin)]));
+  }
+}
+
+TEST_P(ProfileTest, NoDanglingLogicNets) {
+  auto nl = generate_circuit(lib(), GetParam());
+  std::size_t dangling = 0;
+  for (std::size_t n = 0; n < nl->num_nets(); ++n) {
+    const Net& net = nl->net(static_cast<NetId>(n));
+    if (nl->is_clock_net(static_cast<NetId>(n))) continue;
+    if ((net.driver.valid() || net.driven_by_pi()) && net.fanout() == 0) ++dangling;
+  }
+  // The observation-tree pass absorbs unused signals.
+  EXPECT_EQ(dangling, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, ProfileTest,
+                         ::testing::Values(test::tiny_profile(), test::small_profile(),
+                                           scaled(circuit1_profile(), 0.05),
+                                           scaled(p26909_profile(), 0.05)),
+                         [](const ::testing::TestParamInfo<CircuitProfile>& info) {
+                           std::string name = info.param.name;
+                           for (char& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(GeneratorTest, MultiDomainAssignsClocksByFraction) {
+  CircuitProfile p = test::tiny_profile();
+  p.num_clock_domains = 2;
+  p.domain_fraction = {0.5, 0.5};
+  p.num_ffs = 40;
+  auto nl = generate_circuit(lib(), p);
+  int dom0 = 0, dom1 = 0;
+  for (const CellId ff : nl->flip_flops()) {
+    const CellInst& inst = nl->cell(ff);
+    const NetId ck = inst.conn[static_cast<std::size_t>(inst.spec->clock_pin)];
+    if (ck == nl->pi_net(nl->clock_pis()[0])) ++dom0;
+    if (ck == nl->pi_net(nl->clock_pis()[1])) ++dom1;
+  }
+  EXPECT_EQ(dom0 + dom1, 40);
+  EXPECT_NEAR(dom0, 20, 3);
+}
+
+TEST(GeneratorTest, HubSignalsGetLargeFanout) {
+  CircuitProfile p = test::tiny_profile();
+  p.num_hub_signals = 4;
+  p.hub_pick_prob = 0.08;
+  p.num_comb_gates = 600;
+  auto nl = generate_circuit(lib(), p);
+  std::size_t max_fanout = 0;
+  for (std::size_t n = 0; n < nl->num_nets(); ++n) {
+    if (nl->is_clock_net(static_cast<NetId>(n))) continue;
+    max_fanout = std::max(max_fanout, nl->net(static_cast<NetId>(n)).fanout());
+  }
+  EXPECT_GE(max_fanout, 10u);
+}
+
+TEST(GeneratorTest, ScaledProfileShrinks) {
+  const CircuitProfile base = s38417_profile();
+  const CircuitProfile half = scaled(base, 0.5);
+  EXPECT_EQ(half.num_ffs, base.num_ffs / 2);
+  EXPECT_NEAR(half.num_comb_gates, base.num_comb_gates / 2, 1);
+  EXPECT_EQ(half.target_row_utilization, base.target_row_utilization);
+}
+
+TEST(GeneratorTest, PaperProfilesMatchSection41) {
+  const auto profiles = paper_profiles();
+  ASSERT_EQ(profiles.size(), 3u);
+  EXPECT_EQ(profiles[0].name, "s38417");
+  EXPECT_EQ(profiles[0].num_ffs, 1636);  // §4.1: "contains 1,636 flip-flops"
+  EXPECT_EQ(profiles[1].num_clock_domains, 2);
+  EXPECT_EQ(profiles[2].max_chains, 32);  // §4.1: chains limited to 32
+  EXPECT_DOUBLE_EQ(profiles[2].target_row_utilization, 0.50);
+  EXPECT_DOUBLE_EQ(profiles[0].target_row_utilization, 0.97);
+}
+
+}  // namespace
+}  // namespace tpi

@@ -1,0 +1,88 @@
+#include "layout/floorplan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.hpp"
+#include "circuits/generator.hpp"
+
+namespace tpi {
+namespace {
+
+using test::lib;
+
+TEST(FloorplanTest, CoreHoldsCellsAtTargetUtilization) {
+  auto nl = generate_circuit(lib(), test::tiny_profile(61));
+  FloorplanOptions opts;
+  opts.target_row_utilization = 0.9;
+  const Floorplan fp = make_floorplan(*nl, opts);
+  const double cell_area = placeable_cell_area(*nl);
+  const double row_area = fp.num_rows * fp.row_length_um * fp.row_height_um;
+  EXPECT_GE(row_area, cell_area);                  // everything fits
+  EXPECT_NEAR(cell_area / row_area, 0.9, 0.02);    // close to target
+}
+
+TEST(FloorplanTest, AspectRatioWithinPaperBounds) {
+  // §4.3: "The aspect ratio of the core area is always between 0.9 and 1.1."
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    auto nl = generate_circuit(lib(), test::tiny_profile(seed));
+    const Floorplan fp = make_floorplan(*nl, {});
+    EXPECT_GE(fp.aspect_ratio(), 0.9);
+    EXPECT_LE(fp.aspect_ratio(), 1.1);
+  }
+}
+
+TEST(FloorplanTest, ChipIsSquareAndContainsCore) {
+  auto nl = generate_circuit(lib(), test::tiny_profile(62));
+  const Floorplan fp = make_floorplan(*nl, {});
+  EXPECT_NEAR(fp.chip_box.width(), fp.chip_box.height(), 1e-9);  // forced square
+  EXPECT_LE(fp.chip_box.lx, fp.core_box.lx);
+  EXPECT_GE(fp.chip_box.hx, fp.core_box.hx);
+  EXPECT_LE(fp.chip_box.ly, fp.core_box.ly);
+  EXPECT_GE(fp.chip_box.hy, fp.core_box.hy);
+  EXPECT_GT(fp.chip_area_um2(), fp.core_area_um2());
+}
+
+TEST(FloorplanTest, RowLengthIsSiteQuantised) {
+  auto nl = generate_circuit(lib(), test::tiny_profile(63));
+  const Floorplan fp = make_floorplan(*nl, {});
+  const double sites = fp.row_length_um / fp.site_width_um;
+  EXPECT_NEAR(sites, std::round(sites), 1e-9);
+  EXPECT_EQ(fp.total_row_length_um(), fp.num_rows * fp.row_length_um);
+}
+
+TEST(FloorplanTest, LowerUtilizationGrowsCore) {
+  auto nl = generate_circuit(lib(), test::tiny_profile(64));
+  FloorplanOptions tight, loose;
+  tight.target_row_utilization = 0.97;
+  loose.target_row_utilization = 0.50;  // the paper's p26909 setting
+  const Floorplan a = make_floorplan(*nl, tight);
+  const Floorplan b = make_floorplan(*nl, loose);
+  EXPECT_GT(b.core_area_um2(), 1.7 * a.core_area_um2());
+}
+
+TEST(FloorplanTest, MoreCellsMoreArea) {
+  // Adding test points must grow the core nearly linearly (§4.3).
+  auto nl = generate_circuit(lib(), test::tiny_profile(65));
+  const Floorplan before = make_floorplan(*nl, {});
+  const CellSpec* tsff = lib().by_name("TSFF_X1");
+  for (int i = 0; i < 10; ++i) nl->add_cell(tsff, "tp" + std::to_string(i));
+  const Floorplan after = make_floorplan(*nl, {});
+  EXPECT_GT(after.core_area_um2(), before.core_area_um2());
+  const double added = 10 * tsff->area_um2() / 0.97;
+  EXPECT_NEAR(after.core_area_um2() - before.core_area_um2(), added,
+              0.6 * added + 2 * after.row_length_um);  // quantisation slack
+}
+
+TEST(FloorplanTest, RowCoordinates) {
+  auto nl = generate_circuit(lib(), test::tiny_profile(66));
+  const Floorplan fp = make_floorplan(*nl, {});
+  EXPECT_DOUBLE_EQ(fp.row_y(0), fp.core_box.ly);
+  EXPECT_DOUBLE_EQ(fp.row_y(fp.num_rows) - fp.core_box.ly,
+                   fp.num_rows * fp.row_height_um);
+  EXPECT_EQ(fp.nearest_row(fp.core_box.ly - 100.0), 0);
+  EXPECT_EQ(fp.nearest_row(fp.core_box.hy + 100.0), fp.num_rows - 1);
+  EXPECT_EQ(fp.nearest_row(fp.row_y(2) + 0.1), 2);
+}
+
+}  // namespace
+}  // namespace tpi

@@ -1,0 +1,169 @@
+#include "layout/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "../common/test_circuits.hpp"
+#include "circuits/generator.hpp"
+
+namespace tpi {
+namespace {
+
+using test::lib;
+
+struct PlacedCircuit {
+  std::unique_ptr<Netlist> nl;
+  Floorplan fp;
+  Placement pl;
+};
+
+PlacedCircuit make_placed(std::uint64_t seed) {
+  PlacedCircuit out;
+  out.nl = generate_circuit(lib(), test::tiny_profile(seed));
+  out.fp = make_floorplan(*out.nl, {});
+  out.pl = place(*out.nl, out.fp, {});
+  return out;
+}
+
+// Legality: every placeable cell on a row, inside the core, site-aligned,
+// and without overlaps within its row.
+void expect_legal(const PlacedCircuit& pc) {
+  const Netlist& nl = *pc.nl;
+  for (std::size_t c = 0; c < nl.num_cells(); ++c) {
+    const CellSpec* spec = nl.cell(static_cast<CellId>(c)).spec;
+    if (spec->func == CellFunc::kFiller) continue;
+    ASSERT_GE(pc.pl.row[c], 0) << "unplaced cell " << nl.cell(static_cast<CellId>(c)).name;
+    const Point& p = pc.pl.pos[c];
+    const double lo = p.x - spec->width_um / 2.0;
+    const double hi = p.x + spec->width_um / 2.0;
+    EXPECT_GE(lo, pc.fp.core_box.lx - 1e-6);
+    EXPECT_LE(hi, pc.fp.core_box.lx + pc.fp.row_length_um + 1e-6);
+    const double site_pos = (lo - pc.fp.core_box.lx) / pc.fp.site_width_um;
+    EXPECT_NEAR(site_pos, std::round(site_pos), 1e-6);
+  }
+  for (int r = 0; r < pc.fp.num_rows; ++r) {
+    double cursor = pc.fp.core_box.lx - 1e-9;
+    for (const CellId c : pc.pl.row_order[static_cast<std::size_t>(r)]) {
+      const CellSpec* spec = nl.cell(c).spec;
+      const double lo = pc.pl.pos[static_cast<std::size_t>(c)].x - spec->width_um / 2.0;
+      EXPECT_GE(lo, cursor - 1e-6) << "overlap in row " << r;
+      cursor = lo + spec->width_um;
+    }
+    EXPECT_LE(pc.pl.row_used_um[static_cast<std::size_t>(r)],
+              pc.fp.row_length_um + 1e-6);
+  }
+}
+
+TEST(PlacementTest, ProducesLegalPlacement) {
+  const PlacedCircuit pc = make_placed(71);
+  expect_legal(pc);
+}
+
+TEST(PlacementTest, AllCellsAccountedForInRows) {
+  const PlacedCircuit pc = make_placed(72);
+  std::size_t in_rows = 0;
+  for (const auto& row : pc.pl.row_order) in_rows += row.size();
+  std::size_t placeable = 0;
+  for (std::size_t c = 0; c < pc.nl->num_cells(); ++c) {
+    placeable += pc.nl->cell(static_cast<CellId>(c)).spec->func != CellFunc::kFiller;
+  }
+  EXPECT_EQ(in_rows, placeable);
+}
+
+TEST(PlacementTest, BeatsNaiveSpreadOnWirelength) {
+  auto nl = generate_circuit(lib(), test::small_profile(73));
+  const Floorplan fp = make_floorplan(*nl, {});
+  PlacementOptions zero_iters;
+  zero_iters.global_iterations = 0;
+  const Placement naive = place(*nl, fp, zero_iters);
+  const Placement tuned = place(*nl, fp, {});
+  EXPECT_LT(tuned.total_hpwl(*nl), 0.9 * naive.total_hpwl(*nl));
+}
+
+TEST(PlacementTest, DeterministicAcrossRuns) {
+  const PlacedCircuit a = make_placed(74);
+  const PlacedCircuit b = make_placed(74);
+  for (std::size_t c = 0; c < a.nl->num_cells(); ++c) {
+    EXPECT_DOUBLE_EQ(a.pl.pos[c].x, b.pl.pos[c].x);
+    EXPECT_DOUBLE_EQ(a.pl.pos[c].y, b.pl.pos[c].y);
+  }
+}
+
+TEST(PlacementTest, PadsLieOnChipBoundary) {
+  const PlacedCircuit pc = make_placed(75);
+  const Rect& box = pc.fp.chip_box;
+  auto on_edge = [&](const Point& p) {
+    const double eps = 1e-6;
+    const bool x_edge = std::abs(p.x - box.lx) < eps || std::abs(p.x - box.hx) < eps;
+    const bool y_edge = std::abs(p.y - box.ly) < eps || std::abs(p.y - box.hy) < eps;
+    return (x_edge && p.y >= box.ly - eps && p.y <= box.hy + eps) ||
+           (y_edge && p.x >= box.lx - eps && p.x <= box.hx + eps);
+  };
+  for (const Point& p : pc.pl.pi_pad) EXPECT_TRUE(on_edge(p));
+  for (const Point& p : pc.pl.po_pad) EXPECT_TRUE(on_edge(p));
+}
+
+TEST(PlacementTest, EcoInsertsWithoutDisturbingOthers) {
+  PlacedCircuit pc = make_placed(76);
+  // Record pre-ECO rows of existing cells.
+  std::map<CellId, int> rows_before;
+  for (std::size_t c = 0; c < pc.nl->num_cells(); ++c) {
+    rows_before[static_cast<CellId>(c)] = pc.pl.row[c];
+  }
+  const CellSpec* buf = lib().gate(CellFunc::kBuf, 1);  // X1 fits row gaps
+  std::vector<CellId> added;
+  for (int i = 0; i < 5; ++i) {
+    added.push_back(pc.nl->add_cell(buf, "eco" + std::to_string(i)));
+  }
+  eco_place(*pc.nl, pc.fp, pc.pl, added);
+  expect_legal(pc);
+  for (const CellId c : added) {
+    EXPECT_GE(pc.pl.row[static_cast<std::size_t>(c)], 0);
+  }
+  // ECO never moves a cell to a different row (it may repack within a row).
+  for (const auto& [cell, row] : rows_before) {
+    EXPECT_EQ(pc.pl.row[static_cast<std::size_t>(cell)], row);
+  }
+}
+
+TEST(PlacementTest, EcoOverflowFallsBackToLeastUsedRow) {
+  // When no row can host the new cell, ECO placement still places it (the
+  // core simply exceeds the utilization target) instead of failing.
+  PlacedCircuit pc = make_placed(78);
+  const CellSpec* wide = lib().by_name("TSFF_X1");
+  std::vector<CellId> added;
+  for (int i = 0; i < 40; ++i) {
+    added.push_back(pc.nl->add_cell(wide, "big" + std::to_string(i)));
+  }
+  eco_place(*pc.nl, pc.fp, pc.pl, added);
+  for (const CellId c : added) EXPECT_GE(pc.pl.row[static_cast<std::size_t>(c)], 0);
+}
+
+TEST(PlacementTest, FillersPlugEveryGap) {
+  PlacedCircuit pc = make_placed(77);
+  const FillerReport report = insert_fillers(*pc.nl, pc.fp, pc.pl);
+  EXPECT_GT(report.cells_added, 0);
+  // After filling, every row is exactly full.
+  for (int r = 0; r < pc.fp.num_rows; ++r) {
+    double used = 0.0;
+    for (const CellId c : pc.pl.row_order[static_cast<std::size_t>(r)]) {
+      used += pc.nl->cell(c).spec->width_um;
+    }
+    EXPECT_NEAR(used, pc.fp.row_length_um, 1e-6) << "row " << r;
+  }
+  // Filler area fills exactly the non-cell row area.
+  const double row_area = pc.fp.num_rows * pc.fp.row_length_um * pc.fp.row_height_um;
+  EXPECT_NEAR(report.area_um2, row_area - placeable_cell_area(*pc.nl),
+              1e-3 * row_area + 1.0);
+}
+
+TEST(PlacementTest, HpwlIncludesPads) {
+  auto nl = test::make_small_comb();
+  const Floorplan fp = make_floorplan(*nl, {});
+  const Placement pl = place(*nl, fp, {});
+  EXPECT_GT(pl.total_hpwl(*nl), 0.0);
+}
+
+}  // namespace
+}  // namespace tpi

@@ -1,0 +1,76 @@
+#include "library/nldm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tpi {
+namespace {
+
+NldmTable simple_table() {
+  // delay = 10 + 2*load + 0.1*slew on a 2x2 grid.
+  return NldmTable({10.0, 100.0}, {1.0, 11.0},
+                   {10 + 2 * 1 + 0.1 * 10, 10 + 2 * 11 + 0.1 * 10,
+                    10 + 2 * 1 + 0.1 * 100, 10 + 2 * 11 + 0.1 * 100});
+}
+
+TEST(NldmTest, ExactAtGridPoints) {
+  const NldmTable t = simple_table();
+  EXPECT_DOUBLE_EQ(t.lookup(10, 1).value_ps, 13.0);
+  EXPECT_DOUBLE_EQ(t.lookup(100, 11).value_ps, 42.0);
+  EXPECT_FALSE(t.lookup(10, 1).extrapolated);
+}
+
+TEST(NldmTest, BilinearInterpolationIsExactForBilinearData) {
+  const NldmTable t = simple_table();
+  // The characterised function is bilinear, so any interior point matches.
+  for (double slew : {10.0, 32.0, 55.0, 100.0}) {
+    for (double load : {1.0, 3.0, 6.0, 11.0}) {
+      const auto r = t.lookup(slew, load);
+      EXPECT_NEAR(r.value_ps, 10 + 2 * load + 0.1 * slew, 1e-9);
+      EXPECT_FALSE(r.extrapolated);
+    }
+  }
+}
+
+TEST(NldmTest, ExtrapolationFlagsOutOfRange) {
+  const NldmTable t = simple_table();
+  EXPECT_TRUE(t.lookup(10, 20).extrapolated);   // load beyond grid
+  EXPECT_TRUE(t.lookup(500, 5).extrapolated);   // slew beyond grid
+  EXPECT_TRUE(t.lookup(1, 0.5).extrapolated);   // below grid
+  // Linear extrapolation continues the plane.
+  EXPECT_NEAR(t.lookup(10, 21).value_ps, 10 + 2 * 21 + 0.1 * 10, 1e-9);
+}
+
+TEST(NldmTest, MakeNldmMatchesAnalyticModel) {
+  const NldmTable t = make_nldm(25.0, 3.0, 0.12, 0.0, 120.0, 800.0);
+  // Inside the grid the model is linear in both axes -> exact recovery.
+  const auto r = t.lookup(200.0, 50.0);
+  EXPECT_FALSE(r.extrapolated);
+  EXPECT_NEAR(r.value_ps, 25.0 + 3.0 * 50.0 + 0.12 * 200.0, 1e-6);
+}
+
+TEST(NldmTest, MakeNldmRangeQueries) {
+  const NldmTable t = make_nldm(10.0, 2.0, 0.1, 0.0, 90.0, 700.0);
+  EXPECT_DOUBLE_EQ(t.max_load_ff(), 90.0);
+  EXPECT_DOUBLE_EQ(t.max_slew_ps(), 700.0);
+  EXPECT_FALSE(t.empty());
+  EXPECT_TRUE(NldmTable().empty());
+}
+
+TEST(NldmTest, MonotoneInLoadAndSlew) {
+  const NldmTable t = make_nldm(30.0, 4.0, 0.15, 0.001);
+  double prev = -1;
+  for (double load = 0.5; load <= 100.0; load += 5.0) {
+    const double v = t.lookup(100.0, load).value_ps;
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+  prev = -1;
+  for (double slew = 2.0; slew <= 700.0; slew += 50.0) {
+    const double v = t.lookup(slew, 40.0).value_ps;
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace tpi

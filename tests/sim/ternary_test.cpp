@@ -1,0 +1,91 @@
+#include "sim/ternary.hpp"
+
+#include "sim/parallel_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tpi {
+namespace {
+
+TEST(TernaryTest, NotTable) {
+  EXPECT_EQ(tern_not(Tern::k0), Tern::k1);
+  EXPECT_EQ(tern_not(Tern::k1), Tern::k0);
+  EXPECT_EQ(tern_not(Tern::kX), Tern::kX);
+}
+
+TEST(TernaryTest, AndDominatedByZero) {
+  EXPECT_EQ(tern_and(Tern::k0, Tern::kX), Tern::k0);
+  EXPECT_EQ(tern_and(Tern::kX, Tern::k0), Tern::k0);
+  EXPECT_EQ(tern_and(Tern::k1, Tern::k1), Tern::k1);
+  EXPECT_EQ(tern_and(Tern::k1, Tern::kX), Tern::kX);
+  EXPECT_EQ(tern_and(Tern::kX, Tern::kX), Tern::kX);
+}
+
+TEST(TernaryTest, OrDominatedByOne) {
+  EXPECT_EQ(tern_or(Tern::k1, Tern::kX), Tern::k1);
+  EXPECT_EQ(tern_or(Tern::kX, Tern::k1), Tern::k1);
+  EXPECT_EQ(tern_or(Tern::k0, Tern::k0), Tern::k0);
+  EXPECT_EQ(tern_or(Tern::k0, Tern::kX), Tern::kX);
+}
+
+TEST(TernaryTest, XorUnknownIfAnyUnknown) {
+  EXPECT_EQ(tern_xor(Tern::k1, Tern::k0), Tern::k1);
+  EXPECT_EQ(tern_xor(Tern::k1, Tern::k1), Tern::k0);
+  EXPECT_EQ(tern_xor(Tern::kX, Tern::k0), Tern::kX);
+  EXPECT_EQ(tern_xor(Tern::k1, Tern::kX), Tern::kX);
+}
+
+TEST(TernaryTest, MuxWithKnownSelect) {
+  EXPECT_EQ(tern_mux(Tern::k1, Tern::k0, Tern::k0), Tern::k1);
+  EXPECT_EQ(tern_mux(Tern::k1, Tern::k0, Tern::k1), Tern::k0);
+  EXPECT_EQ(tern_mux(Tern::kX, Tern::k0, Tern::k1), Tern::k0);
+}
+
+TEST(TernaryTest, MuxWithUnknownSelect) {
+  // Output known only if both data inputs agree.
+  EXPECT_EQ(tern_mux(Tern::k1, Tern::k1, Tern::kX), Tern::k1);
+  EXPECT_EQ(tern_mux(Tern::k0, Tern::k0, Tern::kX), Tern::k0);
+  EXPECT_EQ(tern_mux(Tern::k1, Tern::k0, Tern::kX), Tern::kX);
+  EXPECT_EQ(tern_mux(Tern::kX, Tern::kX, Tern::kX), Tern::kX);
+}
+
+TEST(TernaryTest, NodeEvalConsistentWithWordSim) {
+  // For every 2-input function and every definite input pair, ternary and
+  // word evaluation must agree.
+  for (const CellFunc func : {CellFunc::kAnd, CellFunc::kNand, CellFunc::kOr, CellFunc::kNor,
+                              CellFunc::kXor, CellFunc::kXnor}) {
+    CombNode node;
+    node.func = func;
+    node.num_inputs = 2;
+    node.in[0] = 0;
+    node.in[1] = 1;
+    node.out = 2;
+    for (int a = 0; a <= 1; ++a) {
+      for (int b = 0; b <= 1; ++b) {
+        const Tern tin[2] = {a ? Tern::k1 : Tern::k0, b ? Tern::k1 : Tern::k0};
+        const Word win[2] = {a ? ~Word{0} : 0, b ? ~Word{0} : 0};
+        const Tern tr = eval_node_tern(node, tin, Tern::kX);
+        const Word wr = eval_node_word(node, win, 0);
+        const bool tr_bit = tr == Tern::k1;
+        const bool wr_bit = (wr & 1) != 0;
+        EXPECT_EQ(tr_bit, wr_bit)
+            << static_cast<int>(func) << " a=" << a << " b=" << b;
+        EXPECT_NE(tr, Tern::kX);
+      }
+    }
+  }
+}
+
+TEST(TernaryTest, PartialInputsMayResolve) {
+  CombNode node;
+  node.func = CellFunc::kNand;
+  node.num_inputs = 2;
+  node.out = 2;
+  const Tern one_zero[2] = {Tern::k0, Tern::kX};
+  EXPECT_EQ(eval_node_tern(node, one_zero, Tern::kX), Tern::k1);  // controlling 0
+  const Tern one_x[2] = {Tern::k1, Tern::kX};
+  EXPECT_EQ(eval_node_tern(node, one_x, Tern::kX), Tern::kX);
+}
+
+}  // namespace
+}  // namespace tpi

@@ -1,0 +1,132 @@
+// Fig. 1 semantics of the transparent scan flip-flop, validated against a
+// discrete gate-level model built from two MUX2 cells and a DFF:
+//
+//   m1 = TE ? TI : D          (scan input mux)
+//   FF captures m1 each clock
+//   Q  = TR ? FF : m1         (output mux)
+//
+//   application TE=0 TR=0: Q = D   (transparent, two mux delays)
+//   shift       TE=1 TR=1: Q = FF, FF <- TI
+//   capture     TE=0 TR=1: Q = FF, FF <- D   (observe D / control Q)
+//   flush       TE=1 TR=0: Q = TI  (combinational flush path)
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.hpp"
+#include "sim/seq_sim.hpp"
+
+namespace tpi {
+namespace {
+
+using test::lib;
+
+// Discrete TSFF: inputs d, ti, te, tr; output q; plus clock.
+std::unique_ptr<Netlist> make_discrete_tsff() {
+  auto nl = std::make_unique<Netlist>(&lib(), "tsff_discrete");
+  const int clk = nl->add_primary_input("clk");
+  nl->mark_clock(clk);
+  const NetId d = nl->pi_net(nl->add_primary_input("d"));
+  const NetId ti = nl->pi_net(nl->add_primary_input("ti"));
+  const NetId te = nl->pi_net(nl->add_primary_input("te"));
+  const NetId tr = nl->pi_net(nl->add_primary_input("tr"));
+  const CellSpec* mux = lib().gate(CellFunc::kMux2, 2);
+  const CellSpec* dff = lib().by_name("DFF_X1");
+
+  const CellId m1 = nl->add_cell(mux, "m1");
+  nl->connect(m1, mux->find_pin("A"), d);
+  nl->connect(m1, mux->find_pin("B"), ti);
+  nl->connect(m1, mux->select_pin, te);
+  const NetId m1y = nl->add_net("m1y");
+  nl->connect(m1, mux->output_pin, m1y);
+
+  const CellId ff = nl->add_cell(dff, "ff");
+  nl->connect(ff, dff->d_pin, m1y);
+  nl->connect(ff, dff->clock_pin, nl->pi_net(clk));
+  const NetId ffq = nl->add_net("ffq");
+  nl->connect(ff, dff->output_pin, ffq);
+
+  const CellId m2 = nl->add_cell(mux, "m2");
+  nl->connect(m2, mux->find_pin("A"), m1y);
+  nl->connect(m2, mux->find_pin("B"), ffq);
+  nl->connect(m2, mux->select_pin, tr);
+  const NetId q = nl->add_net("q");
+  nl->connect(m2, mux->output_pin, q);
+  nl->add_primary_output("q_out", q);
+  return nl;
+}
+
+class TsffModesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    nl_ = make_discrete_tsff();
+    sim_ = std::make_unique<SequentialSim>(*nl_);
+  }
+  // PIs in creation order: d, ti, te, tr (clk excluded from comb inputs).
+  Word q_after_cycle(Word d, Word ti, Word te, Word tr) {
+    std::vector<Word> po;
+    sim_->step({d, ti, te, tr}, po);
+    return po[0];
+  }
+  Word ff_state() const { return sim_->state()[0]; }
+
+  std::unique_ptr<Netlist> nl_;
+  std::unique_ptr<SequentialSim> sim_;
+};
+
+TEST_F(TsffModesTest, ApplicationModeIsTransparent) {
+  // TE = TR = 0: q follows d combinationally regardless of FF state.
+  EXPECT_EQ(q_after_cycle(~Word{0}, 0, 0, 0), ~Word{0});
+  EXPECT_EQ(q_after_cycle(Word{0xF0F0}, ~Word{0}, 0, 0), Word{0xF0F0});
+}
+
+TEST_F(TsffModesTest, ShiftModeLoadsScanInput) {
+  // TE = TR = 1: q shows FF; FF captures TI.
+  const Word ti = 0xAAAA5555AAAA5555ULL;
+  q_after_cycle(0, ti, ~Word{0}, ~Word{0});
+  EXPECT_EQ(ff_state(), ti);
+  // Next shift cycle exposes it at q.
+  const Word q = q_after_cycle(0, 0, ~Word{0}, ~Word{0});
+  EXPECT_EQ(q, ti);
+}
+
+TEST_F(TsffModesTest, CaptureModeObservesDandControlsQ) {
+  // Preload the FF via shift.
+  const Word preload = 0x1234FEDC00FFCC33ULL;
+  q_after_cycle(0, preload, ~Word{0}, ~Word{0});
+  ASSERT_EQ(ff_state(), preload);
+  // Capture: TE=0, TR=1. q is controlled from the FF while D is captured.
+  const Word d = 0xDEADBEEF12345678ULL;
+  const Word q = q_after_cycle(d, 0, 0, ~Word{0});
+  EXPECT_EQ(q, preload);      // control point: output from the FF
+  EXPECT_EQ(ff_state(), d);   // observation point: D captured
+}
+
+TEST_F(TsffModesTest, FlushModePassesScanInputCombinationally) {
+  // TE=1, TR=0: TI flows to q without a clock (§3.1 scan flush test).
+  const Word ti = 0x00FF00FF00FF00FFULL;
+  const Word q = q_after_cycle(0, ti, ~Word{0}, 0);
+  EXPECT_EQ(q, ti);
+}
+
+TEST_F(TsffModesTest, LibraryTsffMatchesDiscreteModelInApplicationMode) {
+  // The monolithic TSFF_X1 cell must behave like the discrete model when
+  // used in a circuit: transparent D -> Q in the application view.
+  auto nl = test::make_shift_register();
+  const CellId f0 = nl->find_cell("f0");
+  nl->replace_spec(f0, lib().by_name("TSFF_X1"));
+  const CellSpec* tsff = nl->cell(f0).spec;
+  const CellId tie = nl->add_cell(lib().by_name("TIE0"), "tie");
+  const NetId zero = nl->add_net("zero");
+  nl->connect(tie, 0, zero);
+  nl->connect(f0, tsff->te_pin, zero);
+  nl->connect(f0, tsff->tr_pin, zero);
+
+  SequentialSim sim(*nl);
+  std::vector<Word> po;
+  const Word d = 0xCAFEBABE00112233ULL;
+  sim.step({d}, po);
+  // Transparent: f1 (the remaining state bit) captured d immediately.
+  EXPECT_EQ(sim.state()[0], d);
+}
+
+}  // namespace
+}  // namespace tpi

@@ -1,0 +1,73 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tpi {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic example set
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(LinearFitTest, ExactLine) {
+  const std::vector<double> x{0, 1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(2.5 * xi + 1.0);
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyLineHasHighR2) {
+  const std::vector<double> x{0, 1, 2, 3, 4, 5};
+  const std::vector<double> y{0.1, 1.05, 1.9, 3.1, 3.95, 5.05};
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 1.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinearFitTest, DegenerateInputs) {
+  EXPECT_EQ(fit_linear({}, {}).slope, 0.0);
+  EXPECT_EQ(fit_linear({1.0}, {2.0}).slope, 0.0);
+  // Vertical spread on constant x: no fit possible.
+  const LinearFit fit = fit_linear({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0});
+  EXPECT_EQ(fit.slope, 0.0);
+  EXPECT_EQ(fit.r_squared, 0.0);
+}
+
+TEST(LinearFitTest, FlatDataIsPerfectFlatFit) {
+  const LinearFit fit = fit_linear({0, 1, 2, 3}, {5, 5, 5, 5});
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);  // zero residual
+}
+
+}  // namespace
+}  // namespace tpi

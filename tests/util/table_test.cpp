@@ -1,0 +1,49 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tpi {
+namespace {
+
+TEST(TextTableTest, AlignsColumnsRight) {
+  TextTable t({"a", "bb"});
+  t.add_row({"100", "2"});
+  const std::string s = t.to_string();
+  // Header, dashes, one row.
+  EXPECT_NE(s.find("  a  bb"), std::string::npos);
+  EXPECT_NE(s.find("100   2"), std::string::npos);
+}
+
+TEST(TextTableTest, SeparatorRendersBlankLine) {
+  TextTable t({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("1\n\n2"), std::string::npos);
+}
+
+TEST(TextTableTest, CountsOnlyRows) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"1"});
+  t.add_separator();
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(FormatTest, IntWithThousandsSeparators) {
+  EXPECT_EQ(fmt_int(0), "0");
+  EXPECT_EQ(fmt_int(999), "999");
+  EXPECT_EQ(fmt_int(1000), "1,000");
+  EXPECT_EQ(fmt_int(1234567), "1,234,567");
+  EXPECT_EQ(fmt_int(-1234567), "-1,234,567");
+}
+
+TEST(FormatTest, FixedDecimals) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(fmt_fixed(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace tpi
