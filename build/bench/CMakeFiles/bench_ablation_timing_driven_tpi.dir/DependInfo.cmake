@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_timing_driven_tpi.cpp" "bench/CMakeFiles/bench_ablation_timing_driven_tpi.dir/bench_ablation_timing_driven_tpi.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_timing_driven_tpi.dir/bench_ablation_timing_driven_tpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/tpi_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/bist/CMakeFiles/tpi_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/tpi_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpi/CMakeFiles/tpi_tpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/tpi_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/tpi_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/extraction/CMakeFiles/tpi_extraction.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/tpi_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/tpi_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/testability/CMakeFiles/tpi_testability.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/tpi_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/tpi_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_timing_driven_tpi.dir/bench_ablation_timing_driven_tpi.cpp.o"
+  "CMakeFiles/bench_ablation_timing_driven_tpi.dir/bench_ablation_timing_driven_tpi.cpp.o.d"
+  "bench_ablation_timing_driven_tpi"
+  "bench_ablation_timing_driven_tpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_timing_driven_tpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

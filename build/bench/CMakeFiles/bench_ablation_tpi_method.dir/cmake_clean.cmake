@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tpi_method.dir/bench_ablation_tpi_method.cpp.o"
+  "CMakeFiles/bench_ablation_tpi_method.dir/bench_ablation_tpi_method.cpp.o.d"
+  "bench_ablation_tpi_method"
+  "bench_ablation_tpi_method.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tpi_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel_microbench.dir/bench_kernel_microbench.cpp.o"
+  "CMakeFiles/bench_kernel_microbench.dir/bench_kernel_microbench.cpp.o.d"
+  "bench_kernel_microbench"
+  "bench_kernel_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

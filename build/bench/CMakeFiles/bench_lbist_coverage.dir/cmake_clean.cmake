@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lbist_coverage.dir/bench_lbist_coverage.cpp.o"
+  "CMakeFiles/bench_lbist_coverage.dir/bench_lbist_coverage.cpp.o.d"
+  "bench_lbist_coverage"
+  "bench_lbist_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lbist_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

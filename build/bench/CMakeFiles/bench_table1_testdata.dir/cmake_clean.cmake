@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_testdata.dir/bench_table1_testdata.cpp.o"
+  "CMakeFiles/bench_table1_testdata.dir/bench_table1_testdata.cpp.o.d"
+  "bench_table1_testdata"
+  "bench_table1_testdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_testdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_gallery.dir/layout_gallery.cpp.o"
+  "CMakeFiles/layout_gallery.dir/layout_gallery.cpp.o.d"
+  "layout_gallery"
+  "layout_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

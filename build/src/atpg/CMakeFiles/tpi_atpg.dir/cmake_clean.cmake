@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpi_atpg.dir/atpg.cpp.o"
+  "CMakeFiles/tpi_atpg.dir/atpg.cpp.o.d"
+  "CMakeFiles/tpi_atpg.dir/fault.cpp.o"
+  "CMakeFiles/tpi_atpg.dir/fault.cpp.o.d"
+  "CMakeFiles/tpi_atpg.dir/fault_sim.cpp.o"
+  "CMakeFiles/tpi_atpg.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/tpi_atpg.dir/podem.cpp.o"
+  "CMakeFiles/tpi_atpg.dir/podem.cpp.o.d"
+  "libtpi_atpg.a"
+  "libtpi_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpi_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bist/lbist.cpp" "src/bist/CMakeFiles/tpi_bist.dir/lbist.cpp.o" "gcc" "src/bist/CMakeFiles/tpi_bist.dir/lbist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/atpg/CMakeFiles/tpi_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/testability/CMakeFiles/tpi_testability.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/tpi_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/tpi_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

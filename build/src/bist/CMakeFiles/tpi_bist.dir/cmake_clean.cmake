@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpi_bist.dir/lbist.cpp.o"
+  "CMakeFiles/tpi_bist.dir/lbist.cpp.o.d"
+  "libtpi_bist.a"
+  "libtpi_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpi_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpi_circuits.dir/generator.cpp.o"
+  "CMakeFiles/tpi_circuits.dir/generator.cpp.o.d"
+  "CMakeFiles/tpi_circuits.dir/profiles.cpp.o"
+  "CMakeFiles/tpi_circuits.dir/profiles.cpp.o.d"
+  "libtpi_circuits.a"
+  "libtpi_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpi_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

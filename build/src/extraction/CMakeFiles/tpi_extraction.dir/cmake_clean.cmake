@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpi_extraction.dir/extraction.cpp.o"
+  "CMakeFiles/tpi_extraction.dir/extraction.cpp.o.d"
+  "libtpi_extraction.a"
+  "libtpi_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpi_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtpi_extraction.a"
+)

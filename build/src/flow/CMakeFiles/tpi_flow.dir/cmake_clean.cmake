@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpi_flow.dir/flow.cpp.o"
+  "CMakeFiles/tpi_flow.dir/flow.cpp.o.d"
+  "libtpi_flow.a"
+  "libtpi_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpi_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

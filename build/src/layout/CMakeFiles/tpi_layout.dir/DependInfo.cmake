@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/clock_tree.cpp" "src/layout/CMakeFiles/tpi_layout.dir/clock_tree.cpp.o" "gcc" "src/layout/CMakeFiles/tpi_layout.dir/clock_tree.cpp.o.d"
+  "/root/repo/src/layout/floorplan.cpp" "src/layout/CMakeFiles/tpi_layout.dir/floorplan.cpp.o" "gcc" "src/layout/CMakeFiles/tpi_layout.dir/floorplan.cpp.o.d"
+  "/root/repo/src/layout/placement.cpp" "src/layout/CMakeFiles/tpi_layout.dir/placement.cpp.o" "gcc" "src/layout/CMakeFiles/tpi_layout.dir/placement.cpp.o.d"
+  "/root/repo/src/layout/routing.cpp" "src/layout/CMakeFiles/tpi_layout.dir/routing.cpp.o" "gcc" "src/layout/CMakeFiles/tpi_layout.dir/routing.cpp.o.d"
+  "/root/repo/src/layout/svg.cpp" "src/layout/CMakeFiles/tpi_layout.dir/svg.cpp.o" "gcc" "src/layout/CMakeFiles/tpi_layout.dir/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/tpi_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/tpi_library.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpi_layout.dir/clock_tree.cpp.o"
+  "CMakeFiles/tpi_layout.dir/clock_tree.cpp.o.d"
+  "CMakeFiles/tpi_layout.dir/floorplan.cpp.o"
+  "CMakeFiles/tpi_layout.dir/floorplan.cpp.o.d"
+  "CMakeFiles/tpi_layout.dir/placement.cpp.o"
+  "CMakeFiles/tpi_layout.dir/placement.cpp.o.d"
+  "CMakeFiles/tpi_layout.dir/routing.cpp.o"
+  "CMakeFiles/tpi_layout.dir/routing.cpp.o.d"
+  "CMakeFiles/tpi_layout.dir/svg.cpp.o"
+  "CMakeFiles/tpi_layout.dir/svg.cpp.o.d"
+  "libtpi_layout.a"
+  "libtpi_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpi_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

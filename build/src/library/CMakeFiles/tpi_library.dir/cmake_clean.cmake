@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpi_library.dir/cell.cpp.o"
+  "CMakeFiles/tpi_library.dir/cell.cpp.o.d"
+  "CMakeFiles/tpi_library.dir/library.cpp.o"
+  "CMakeFiles/tpi_library.dir/library.cpp.o.d"
+  "CMakeFiles/tpi_library.dir/nldm.cpp.o"
+  "CMakeFiles/tpi_library.dir/nldm.cpp.o.d"
+  "libtpi_library.a"
+  "libtpi_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpi_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpi_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/tpi_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/tpi_netlist.dir/levelize.cpp.o"
+  "CMakeFiles/tpi_netlist.dir/levelize.cpp.o.d"
+  "CMakeFiles/tpi_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/tpi_netlist.dir/netlist.cpp.o.d"
+  "libtpi_netlist.a"
+  "libtpi_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpi_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpi_scan.dir/scan.cpp.o"
+  "CMakeFiles/tpi_scan.dir/scan.cpp.o.d"
+  "libtpi_scan.a"
+  "libtpi_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpi_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpi_sim.dir/comb_model.cpp.o"
+  "CMakeFiles/tpi_sim.dir/comb_model.cpp.o.d"
+  "CMakeFiles/tpi_sim.dir/parallel_sim.cpp.o"
+  "CMakeFiles/tpi_sim.dir/parallel_sim.cpp.o.d"
+  "CMakeFiles/tpi_sim.dir/seq_sim.cpp.o"
+  "CMakeFiles/tpi_sim.dir/seq_sim.cpp.o.d"
+  "CMakeFiles/tpi_sim.dir/ternary.cpp.o"
+  "CMakeFiles/tpi_sim.dir/ternary.cpp.o.d"
+  "libtpi_sim.a"
+  "libtpi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpi_sta.dir/sta.cpp.o"
+  "CMakeFiles/tpi_sta.dir/sta.cpp.o.d"
+  "libtpi_sta.a"
+  "libtpi_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpi_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

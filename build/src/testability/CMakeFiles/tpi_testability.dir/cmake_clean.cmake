@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpi_testability.dir/testability.cpp.o"
+  "CMakeFiles/tpi_testability.dir/testability.cpp.o.d"
+  "libtpi_testability.a"
+  "libtpi_testability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpi_testability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtpi_testability.a"
+)

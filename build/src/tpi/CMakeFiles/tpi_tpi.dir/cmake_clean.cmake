@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpi_tpi.dir/tpi.cpp.o"
+  "CMakeFiles/tpi_tpi.dir/tpi.cpp.o.d"
+  "libtpi_tpi.a"
+  "libtpi_tpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpi_tpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpi_util.dir/log.cpp.o"
+  "CMakeFiles/tpi_util.dir/log.cpp.o.d"
+  "CMakeFiles/tpi_util.dir/rng.cpp.o"
+  "CMakeFiles/tpi_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tpi_util.dir/stats.cpp.o"
+  "CMakeFiles/tpi_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tpi_util.dir/table.cpp.o"
+  "CMakeFiles/tpi_util.dir/table.cpp.o.d"
+  "libtpi_util.a"
+  "libtpi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_test.dir/layout/clock_tree_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/clock_tree_test.cpp.o.d"
+  "CMakeFiles/layout_test.dir/layout/floorplan_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/floorplan_test.cpp.o.d"
+  "CMakeFiles/layout_test.dir/layout/placement_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/placement_test.cpp.o.d"
+  "CMakeFiles/layout_test.dir/layout/routing_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/routing_test.cpp.o.d"
+  "CMakeFiles/layout_test.dir/layout/svg_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/svg_test.cpp.o.d"
+  "layout_test"
+  "layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/parallel_sim_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/parallel_sim_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/seq_sim_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/seq_sim_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/ternary_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/ternary_test.cpp.o.d"
+  "sim_test"
+  "sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testability_test.dir/testability/testability_test.cpp.o"
+  "CMakeFiles/testability_test.dir/testability/testability_test.cpp.o.d"
+  "testability_test"
+  "testability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

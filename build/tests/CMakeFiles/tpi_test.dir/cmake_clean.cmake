@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpi_test.dir/tpi/insertion_test.cpp.o"
+  "CMakeFiles/tpi_test.dir/tpi/insertion_test.cpp.o.d"
+  "CMakeFiles/tpi_test.dir/tpi/tsff_modes_test.cpp.o"
+  "CMakeFiles/tpi_test.dir/tpi/tsff_modes_test.cpp.o.d"
+  "tpi_test"
+  "tpi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_test "/root/repo/build/tests/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;tpi_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(library_test "/root/repo/build/tests/library_test")
+set_tests_properties(library_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;9;tpi_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(netlist_test "/root/repo/build/tests/netlist_test")
+set_tests_properties(netlist_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;10;tpi_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(circuits_test "/root/repo/build/tests/circuits_test")
+set_tests_properties(circuits_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;tpi_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;12;tpi_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(testability_test "/root/repo/build/tests/testability_test")
+set_tests_properties(testability_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;13;tpi_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(atpg_test "/root/repo/build/tests/atpg_test")
+set_tests_properties(atpg_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;tpi_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tpi_test "/root/repo/build/tests/tpi_test")
+set_tests_properties(tpi_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;15;tpi_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(scan_test "/root/repo/build/tests/scan_test")
+set_tests_properties(scan_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;16;tpi_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(layout_test "/root/repo/build/tests/layout_test")
+set_tests_properties(layout_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;17;tpi_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(extraction_test "/root/repo/build/tests/extraction_test")
+set_tests_properties(extraction_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;18;tpi_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sta_test "/root/repo/build/tests/sta_test")
+set_tests_properties(sta_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;19;tpi_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(flow_test "/root/repo/build/tests/flow_test")
+set_tests_properties(flow_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;20;tpi_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bist_test "/root/repo/build/tests/bist_test")
+set_tests_properties(bist_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;21;tpi_test;/root/repo/tests/CMakeLists.txt;0;")
