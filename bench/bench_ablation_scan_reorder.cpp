@@ -10,27 +10,36 @@ int main() {
 
   std::printf("=== Ablation: layout-driven scan chain reordering ===\n\n");
 
-  const auto lib = make_phl130_library();
-  TextTable table({"circuit", "reorder", "scan wire(um)", "total wire(um)", "saved(%)"});
+  // Grid: every circuit with reordering off and on (no ATPG, no STA).
+  std::vector<SweepJob> jobs;
   for (const CircuitProfile& profile : bench_profiles()) {
-    double base_scan = 0.0;
     for (const bool reorder : {false, true}) {
-      FlowOptions opts;
-      opts.layout_driven_reorder = reorder;
-      opts.run_atpg = false;
-      opts.run_sta = false;
-      std::fprintf(stderr, "[bench] %s reorder=%d...\n", profile.name.c_str(), reorder);
-      const FlowResult r = run_flow(*lib, profile, opts);
-      if (!reorder) base_scan = r.scan_wire_length_um;
-      table.add_row({profile.name, reorder ? "on" : "off",
-                     fmt_int(static_cast<long long>(r.scan_wire_length_um)),
-                     fmt_int(static_cast<long long>(r.wire_length_um)),
-                     reorder ? fmt_fixed(100.0 * (base_scan - r.scan_wire_length_um) /
-                                             base_scan,
-                                         1)
-                             : std::string("-")});
+      SweepJob job;
+      job.label = profile.name + (reorder ? "/reorder=on" : "/reorder=off");
+      job.profile = profile;
+      job.options.layout_driven_reorder = reorder;
+      job.options.run_atpg = false;
+      job.options.run_sta = false;
+      job.stages = stage_mask_from(job.options);
+      jobs.push_back(std::move(job));
     }
-    table.add_separator();
+  }
+  const SweepReport report = run_jobs(std::move(jobs));
+
+  TextTable table({"circuit", "reorder", "scan wire(um)", "total wire(um)", "saved(%)"});
+  double base_scan = 0.0;
+  for (const SweepCellResult& cell : report.cells) {
+    const FlowResult& r = cell.result;
+    const bool reorder = cell.job.options.layout_driven_reorder;
+    if (!reorder) base_scan = r.scan_wire_length_um;
+    table.add_row({cell.job.profile.name, reorder ? "on" : "off",
+                   fmt_int(static_cast<long long>(r.scan_wire_length_um)),
+                   fmt_int(static_cast<long long>(r.wire_length_um)),
+                   reorder ? fmt_fixed(100.0 * (base_scan - r.scan_wire_length_um) /
+                                           base_scan,
+                                       1)
+                           : std::string("-")});
+    if (reorder) table.add_separator();
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Step 3 of the paper's flow exists precisely because netlist-order\n"

@@ -11,12 +11,8 @@ int main() {
 
   std::printf("=== Ablation: timing-driven TPI (exclude small-slack nets) ===\n\n");
 
-  const auto lib = make_phl130_library();
-  CircuitProfile profile = bench_profiles().front();  // s38417
+  const CircuitProfile profile = bench_profiles().front();  // s38417
 
-  TextTable table({"mode", "#TP", "#TP_cp", "T_cp(ps)", "dTcp vs none(%)",
-                   "SAF patterns", "FC(%)"});
-  double base_tcp = 0.0;
   struct Case {
     const char* name;
     double pct;
@@ -27,21 +23,31 @@ int main() {
       {"plain TPI 2%", 2.0, false},
       {"timing-driven TPI 2%", 2.0, true},
   };
+  std::vector<SweepJob> jobs;
   for (const Case& c : cases) {
-    FlowOptions opts;
-    opts.tp_percent = c.pct;
-    opts.timing_driven_tpi = c.timing_driven;
-    opts.timing_exclude_slack_ps = 1500.0;
-    std::fprintf(stderr, "[bench] %s...\n", c.name);
-    const FlowResult r = run_flow(*lib, profile, opts);
-    if (c.pct == 0.0) base_tcp = r.sta.worst.t_cp_ps;
-    table.add_row({c.name, fmt_int(r.num_test_points),
+    SweepJob job;
+    job.label = c.name;
+    job.profile = profile;
+    job.options.tp_percent = c.pct;
+    job.options.timing_driven_tpi = c.timing_driven;
+    job.options.timing_exclude_slack_ps = 1500.0;
+    jobs.push_back(std::move(job));
+  }
+  const SweepReport report = run_jobs(std::move(jobs));
+
+  TextTable table({"mode", "#TP", "#TP_cp", "T_cp(ps)", "dTcp vs none(%)",
+                   "SAF patterns", "FC(%)"});
+  const double base_tcp = report.cells.front().result.sta.worst.t_cp_ps;
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    const FlowResult& r = report.cells[i].result;
+    table.add_row({cases[i].name, fmt_int(r.num_test_points),
                    fmt_int(r.sta.worst.test_points_on_path),
                    fmt_int(static_cast<long long>(r.sta.worst.t_cp_ps)),
-                   c.pct == 0.0 ? std::string("-")
-                                : fmt_fixed(100.0 * (r.sta.worst.t_cp_ps - base_tcp) /
-                                                base_tcp,
-                                            2),
+                   cases[i].pct == 0.0
+                       ? std::string("-")
+                       : fmt_fixed(100.0 * (r.sta.worst.t_cp_ps - base_tcp) /
+                                       base_tcp,
+                                   2),
                    fmt_int(r.saf_patterns), fmt_fixed(r.fault_coverage_pct, 2)});
   }
   std::printf("%s\n", table.to_string().c_str());

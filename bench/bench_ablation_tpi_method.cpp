@@ -13,11 +13,8 @@ int main() {
 
   // Use the s38417 profile at 2% test points — enough to cover the gated
   // hard regions when the selector aims well.
-  CircuitProfile profile = bench_profiles().front();
-  const auto lib = make_phl130_library();
+  const CircuitProfile profile = bench_profiles().front();
 
-  TextTable table({"method", "#TP", "FC(%)", "FE(%)", "SAF patterns", "dec. vs none(%)"});
-  int base_patterns = 0;
   struct MethodCase {
     const char* name;
     TpiMethod method;
@@ -29,18 +26,27 @@ int main() {
       {"cop", TpiMethod::kCop, 2.0},
       {"scoap", TpiMethod::kScoap, 2.0},
   };
+  std::vector<SweepJob> jobs;
   for (const MethodCase& mc : cases) {
-    FlowOptions opts;
-    opts.tp_percent = mc.pct;
-    opts.tpi_method = mc.method;
-    opts.run_sta = false;
-    std::fprintf(stderr, "[bench] method=%s...\n", mc.name);
-    const FlowResult r = run_flow(*lib, profile, opts);
-    if (mc.pct == 0.0) base_patterns = r.saf_patterns;
-    table.add_row({mc.name, fmt_int(r.num_test_points),
+    SweepJob job;
+    job.label = std::string(profile.name) + "/method=" + mc.name;
+    job.profile = profile;
+    job.options.tp_percent = mc.pct;
+    job.options.tpi_method = mc.method;
+    job.options.run_sta = false;
+    job.stages = stage_mask_from(job.options);
+    jobs.push_back(std::move(job));
+  }
+  const SweepReport report = run_jobs(std::move(jobs));
+
+  TextTable table({"method", "#TP", "FC(%)", "FE(%)", "SAF patterns", "dec. vs none(%)"});
+  const int base_patterns = report.cells.front().result.saf_patterns;
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    const FlowResult& r = report.cells[i].result;
+    table.add_row({cases[i].name, fmt_int(r.num_test_points),
                    fmt_fixed(r.fault_coverage_pct, 2),
                    fmt_fixed(r.fault_efficiency_pct, 2), fmt_int(r.saf_patterns),
-                   mc.pct == 0.0
+                   cases[i].pct == 0.0
                        ? std::string("-")
                        : fmt_fixed(100.0 * (base_patterns - r.saf_patterns) /
                                        static_cast<double>(base_patterns),

@@ -1,31 +1,55 @@
 // Shared driver for the paper-reproduction benches: runs the Fig. 2 flow on
 // the three §4.1 circuits across 0-5% test points and formats rows in the
-// layout of the paper's tables.
+// layout of the paper's tables. The (circuit × tp_percent) grid executes in
+// parallel through SweepRunner; results are bit-identical at any job count.
 //
 // Environment:
 //   TPI_BENCH_SCALE   scale factor applied to every circuit profile
 //                     (default 1.0 = paper-sized; use e.g. 0.2 for smoke runs)
+//   TPI_BENCH_JOBS    worker threads for the sweep grid
+//                     (default: hardware concurrency; 1 = serial)
+//   TPI_BENCH_JSON    path to write the aggregate per-stage timing report
+//                     (google-benchmark-style JSON; default: not written)
 //   TPI_BENCH_VERBOSE set to any value for progress logging on stderr
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "circuits/profiles.hpp"
 #include "flow/flow.hpp"
+#include "flow/sweep.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tpi::bench {
 
-inline double bench_scale() {
-  const char* env = std::getenv("TPI_BENCH_SCALE");
-  if (env == nullptr) return 1.0;
-  const double v = std::atof(env);
-  return v > 0.0 ? v : 1.0;
+/// Positive double from an env var; `fallback` on unset. Garbage or
+/// non-positive values warn and fall back instead of silently becoming 0.
+inline double env_positive_double(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == env || *end != '\0' || !(v > 0.0)) {
+    std::fprintf(stderr, "[bench] warning: invalid %s=\"%s\" (want a positive number); "
+                         "using %g\n", name, env, fallback);
+    return fallback;
+  }
+  return v;
+}
+
+inline double bench_scale() { return env_positive_double("TPI_BENCH_SCALE", 1.0); }
+
+/// Sweep worker threads: TPI_BENCH_JOBS, default hardware concurrency.
+inline int bench_jobs() {
+  return static_cast<int>(env_positive_double(
+      "TPI_BENCH_JOBS", static_cast<double>(ThreadPool::default_concurrency())));
 }
 
 inline void setup_logging() {
@@ -54,28 +78,82 @@ inline std::vector<CircuitProfile> bench_profiles() {
   return out;
 }
 
+/// Execute jobs through a SweepRunner sized by TPI_BENCH_JOBS and write the
+/// aggregate JSON report when TPI_BENCH_JSON is set.
+inline SweepReport run_jobs(std::vector<SweepJob> jobs) {
+  SweepOptions so;
+  so.jobs = bench_jobs();
+  const SweepReport report = SweepRunner(so).run(*make_phl130_library(), std::move(jobs));
+  if (const char* path = std::getenv("TPI_BENCH_JSON"); path != nullptr && *path != '\0') {
+    if (report.write_json(path)) std::fprintf(stderr, "[bench] wrote %s\n", path);
+  }
+  return report;
+}
+
 struct SweepResult {
   CircuitProfile profile;
-  std::vector<FlowResult> runs;  ///< aligned with tp_percentages()
+  std::vector<FlowResult> runs;  ///< aligned with the tp percentages swept
 };
 
-/// Run the full sweep for one circuit. The netlist is regenerated and laid
-/// out from scratch for every test-point count, exactly as in §4.1.
+/// The full paper grid — bench_profiles() × tp_percentages() — run in
+/// parallel, repacked per circuit in paper order. Every layout is generated
+/// from scratch for every grid cell, exactly as in §4.1.
+inline std::vector<SweepResult> run_grid(bool with_atpg, bool with_sta,
+                                         SweepReport* report_out = nullptr) {
+  FlowOptions base;
+  base.run_atpg = with_atpg;
+  base.run_sta = with_sta;
+  const std::vector<CircuitProfile> profiles = bench_profiles();
+  SweepReport report =
+      run_jobs(SweepRunner::grid(profiles, tp_percentages(), base, stage_mask_from(base)));
+
+  std::vector<SweepResult> out;
+  std::size_t cell = 0;
+  for (const CircuitProfile& profile : profiles) {
+    SweepResult sweep;
+    sweep.profile = profile;
+    for (std::size_t i = 0; i < tp_percentages().size(); ++i) {
+      sweep.runs.push_back(report.cells[cell++].result);
+    }
+    out.push_back(std::move(sweep));
+  }
+  if (report_out != nullptr) *report_out = std::move(report);
+  return out;
+}
+
+/// Run the sweep for one circuit (kept for single-circuit benches; the
+/// percentages of one circuit still run in parallel).
 inline SweepResult run_sweep(const CircuitProfile& profile, bool with_atpg,
                              bool with_sta,
                              const std::vector<double>& percentages = tp_percentages()) {
+  FlowOptions base;
+  base.run_atpg = with_atpg;
+  base.run_sta = with_sta;
+  const SweepReport report =
+      run_jobs(SweepRunner::grid({profile}, percentages, base, stage_mask_from(base)));
   SweepResult out;
   out.profile = profile;
-  const auto lib = make_phl130_library();
-  for (const double pct : percentages) {
-    FlowOptions opts;
-    opts.tp_percent = pct;
-    opts.run_atpg = with_atpg;
-    opts.run_sta = with_sta;
-    std::fprintf(stderr, "[bench] %s @ %.0f%% test points...\n", profile.name.c_str(), pct);
-    out.runs.push_back(run_flow(*lib, profile, opts));
-  }
+  for (const SweepCellResult& cell : report.cells) out.runs.push_back(cell.result);
   return out;
+}
+
+/// Per-stage wall-clock totals + parallel speedup, as a printable table.
+inline std::string stage_totals_table(const SweepReport& report) {
+  TextTable table({"stage", "total wall(s)", "share(%)"});
+  const double total = report.cpu_ms > 0.0 ? report.cpu_ms : 1.0;
+  for (const Stage s : kAllStages) {
+    const double ms = report.stage_total_ms[static_cast<std::size_t>(s)];
+    table.add_row({stage_name(s), fmt_fixed(ms / 1000.0, 2), fmt_fixed(100.0 * ms / total, 1)});
+  }
+  table.add_separator();
+  table.add_row({"all stages", fmt_fixed(report.cpu_ms / 1000.0, 2), "100.0"});
+  std::string out = table.to_string();
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "%zu runs, %d jobs: wall %.2fs, cpu %.2fs, parallel speedup %.2fx\n",
+                report.cells.size(), report.jobs, report.wall_ms / 1000.0,
+                report.cpu_ms / 1000.0, report.speedup());
+  return out + line;
 }
 
 /// "x.xx" percentage change relative to the 0% row ("-" for the base row).

@@ -13,8 +13,9 @@ int main() {
 
   TextTable table({"circuit", "chip @1%TP(%)", "chip @5%TP(%)", "Tcp @1%TP(%)",
                    "Tcp @5%TP(%)", "area R^2", "Tcp R^2"});
-  for (const CircuitProfile& profile : bench_profiles()) {
-    const SweepResult sweep = run_sweep(profile, /*with_atpg=*/false, /*with_sta=*/true);
+  SweepReport report;
+  for (const SweepResult& sweep : run_grid(/*with_atpg=*/false, /*with_sta=*/true, &report)) {
+    const CircuitProfile& profile = sweep.profile;
     const FlowResult& base = sweep.runs.front();
     auto pct = [&](double now, double then) { return 100.0 * (now - then) / then; };
     const LinearFit area_fit =
@@ -30,6 +31,8 @@ int main() {
          fmt_fixed(area_fit.r_squared, 3), fmt_fixed(tcp_fit.r_squared, 3)});
   }
   std::printf("%s\n", table.to_string().c_str());
+  std::printf("Per-stage wall-clock totals over the %zu-run grid:\n%s\n",
+              report.cells.size(), stage_totals_table(report).c_str());
   std::printf(
       "Expected shape (§6): chip-area cost of 1%% TP below ~0.5%%; delay cost\n"
       "noisier, possibly >=5%% (layouts are regenerated from scratch, so both\n"

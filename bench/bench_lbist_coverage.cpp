@@ -22,23 +22,40 @@ int main() {
   lbist.max_patterns = 16384;
   lbist.report_every = 2048;
 
+  // The three LBIST sessions are independent: run them on the shared
+  // TPI_BENCH_JOBS thread pool and collect in tp-percentage order.
+  struct Session {
+    int num_test_points;
+    LbistResult result;
+  };
+  std::vector<std::future<Session>> sessions;
+  {
+    ThreadPool pool(static_cast<unsigned>(bench_jobs()));
+    for (const double pct : {0.0, 1.0, 2.0}) {
+      sessions.push_back(pool.submit([&lib, &profile, &lbist, pct] {
+        auto nl = generate_circuit(*lib, profile);
+        TpiOptions tpi_opts;
+        tpi_opts.num_test_points = static_cast<int>(
+            pct / 100.0 * static_cast<double>(nl->flip_flops().size()));
+        insert_test_points(*nl, tpi_opts);
+        std::fprintf(stderr, "[bench] LBIST with %d test points...\n",
+                     tpi_opts.num_test_points);
+        CombModel model(*nl, SeqView::kCapture);
+        return Session{tpi_opts.num_test_points, run_lbist(model, lbist)};
+      }));
+    }
+  }
+
   TextTable table({"#TP", "patterns", "pseudo-random FC(%)", "final FC(%)", "MISR signature"});
   std::vector<std::vector<std::pair<int, double>>> curves;
-  for (const double pct : {0.0, 1.0, 2.0}) {
-    auto nl = generate_circuit(*lib, profile);
-    TpiOptions tpi_opts;
-    tpi_opts.num_test_points = static_cast<int>(
-        pct / 100.0 * static_cast<double>(nl->flip_flops().size()));
-    insert_test_points(*nl, tpi_opts);
-    std::fprintf(stderr, "[bench] LBIST with %d test points...\n",
-                 tpi_opts.num_test_points);
-    CombModel model(*nl, SeqView::kCapture);
-    const LbistResult r = run_lbist(model, lbist);
+  for (std::future<Session>& fut : sessions) {
+    const Session s = fut.get();
+    const LbistResult& r = s.result;
     curves.push_back(r.coverage_curve);
     char sig[32];
     std::snprintf(sig, sizeof sig, "%016llx",
                   static_cast<unsigned long long>(r.signature));
-    table.add_row({fmt_int(tpi_opts.num_test_points), fmt_int(r.patterns_applied),
+    table.add_row({fmt_int(s.num_test_points), fmt_int(r.patterns_applied),
                    fmt_fixed(r.coverage_curve.front().second, 2),
                    fmt_fixed(r.final_coverage_pct, 2), sig});
   }

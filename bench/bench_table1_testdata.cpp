@@ -18,8 +18,9 @@ int main() {
                    "FE(%)", "SAF patterns", "dec.(%)", "TDV(bits)", "TDV dec.(%)",
                    "TAT(cycles)", "TAT dec.(%)"});
 
-  for (const CircuitProfile& profile : bench_profiles()) {
-    const SweepResult sweep = run_sweep(profile, /*with_atpg=*/true, /*with_sta=*/false);
+  SweepReport report;
+  for (const SweepResult& sweep : run_grid(/*with_atpg=*/true, /*with_sta=*/false, &report)) {
+    const CircuitProfile& profile = sweep.profile;
     const FlowResult& base = sweep.runs.front();
     for (std::size_t i = 0; i < sweep.runs.size(); ++i) {
       const FlowResult& r = sweep.runs[i];
@@ -54,6 +55,7 @@ int main() {
   }
 
   std::printf("%s\n", table.to_string().c_str());
+  std::fprintf(stderr, "[timing] per-stage totals:\n%s", stage_totals_table(report).c_str());
   std::printf("Paper claims reproduced:\n"
               "  * SAF pattern count drops sharply at 1%% TP and levels off (§4.2)\n"
               "  * #faults rises slightly with TP (test-point logic adds faults)\n"

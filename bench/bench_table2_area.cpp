@@ -18,8 +18,9 @@ int main() {
                    "inc.(%)", "filler(%)", "chip(um^2)", "inc.(%)", "L_wires(um)",
                    "aspect"});
 
-  for (const CircuitProfile& profile : bench_profiles()) {
-    const SweepResult sweep = run_sweep(profile, /*with_atpg=*/false, /*with_sta=*/false);
+  SweepReport report;
+  for (const SweepResult& sweep : run_grid(/*with_atpg=*/false, /*with_sta=*/false, &report)) {
+    const CircuitProfile& profile = sweep.profile;
     const FlowResult& base = sweep.runs.front();
     for (std::size_t i = 0; i < sweep.runs.size(); ++i) {
       const FlowResult& r = sweep.runs[i];
@@ -49,6 +50,7 @@ int main() {
   }
 
   std::printf("%s\n", table.to_string().c_str());
+  std::fprintf(stderr, "[timing] per-stage totals:\n%s", stage_totals_table(report).c_str());
   std::printf("Paper claims reproduced:\n"
               "  * core and chip area increase nearly linearly with #TP (§4.3)\n"
               "  * inserting ~1%% test points costs <0.5%% chip area (§6)\n"

@@ -32,8 +32,9 @@ int main() {
                    "F_max(MHz)", "T_wires", "T_intr", "T_load", "T_setup", "T_skew",
                    "slow"});
 
-  for (const CircuitProfile& profile : bench_profiles()) {
-    const SweepResult sweep = run_sweep(profile, /*with_atpg=*/false, /*with_sta=*/true);
+  SweepReport report;
+  for (const SweepResult& sweep : run_grid(/*with_atpg=*/false, /*with_sta=*/true, &report)) {
+    const CircuitProfile& profile = sweep.profile;
     const std::size_t domains = sweep.runs.front().sta.per_domain.size();
     for (std::size_t d = 0; d < domains; ++d) {
       const CriticalPath* base = domain_path(sweep.runs.front(), d);
@@ -79,6 +80,7 @@ int main() {
   }
 
   std::printf("%s\n", table.to_string().c_str());
+  std::fprintf(stderr, "[timing] per-stage totals:\n%s", stage_totals_table(report).c_str());
   std::printf("Paper claims reproduced:\n"
               "  * T_cp grows roughly linearly with the number of test points;\n"
               "    layout noise can make individual layouts faster (§4.4)\n"

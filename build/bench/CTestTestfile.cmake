@@ -4,3 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(sweep_smoke "/root/repo/build/bench/bench_headline_summary")
+set_tests_properties(sweep_smoke PROPERTIES  ENVIRONMENT "TPI_BENCH_SCALE=0.05;TPI_BENCH_JOBS=4" LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")

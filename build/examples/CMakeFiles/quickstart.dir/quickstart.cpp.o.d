@@ -213,7 +213,8 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/netlist/levelize.hpp /root/repo/src/atpg/podem.hpp \
  /root/repo/src/sim/ternary.hpp \
  /root/repo/src/testability/testability.hpp \
- /root/repo/src/layout/clock_tree.hpp /root/repo/src/layout/placement.hpp \
+ /root/repo/src/extraction/extraction.hpp \
+ /root/repo/src/layout/routing.hpp /root/repo/src/layout/placement.hpp \
  /root/repo/src/layout/floorplan.hpp /root/repo/src/layout/geometry.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
@@ -243,10 +244,11 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/layout/routing.hpp /root/repo/src/sta/sta.hpp \
- /root/repo/src/extraction/extraction.hpp /root/repo/src/tpi/tpi.hpp \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/flow/stage.hpp \
+ /usr/include/c++/12/array /root/repo/src/layout/clock_tree.hpp \
+ /root/repo/src/scan/scan.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sta/sta.hpp \
+ /root/repo/src/tpi/tpi.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/log.hpp \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \

@@ -9,10 +9,12 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/flow/flow.cpp" "src/flow/CMakeFiles/tpi_flow.dir/flow.cpp.o" "gcc" "src/flow/CMakeFiles/tpi_flow.dir/flow.cpp.o.d"
+  "/root/repo/src/flow/sweep.cpp" "src/flow/CMakeFiles/tpi_flow.dir/sweep.cpp.o" "gcc" "src/flow/CMakeFiles/tpi_flow.dir/sweep.cpp.o.d"
   )
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tpi_util.dir/DependInfo.cmake"
   "/root/repo/build/src/circuits/CMakeFiles/tpi_circuits.dir/DependInfo.cmake"
   "/root/repo/build/src/tpi/CMakeFiles/tpi_tpi.dir/DependInfo.cmake"
   "/root/repo/build/src/scan/CMakeFiles/tpi_scan.dir/DependInfo.cmake"
@@ -24,7 +26,6 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/sim/CMakeFiles/tpi_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/netlist/CMakeFiles/tpi_netlist.dir/DependInfo.cmake"
   "/root/repo/build/src/library/CMakeFiles/tpi_library.dir/DependInfo.cmake"
-  "/root/repo/build/src/util/CMakeFiles/tpi_util.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/tpi_flow.dir/flow.cpp.o"
   "CMakeFiles/tpi_flow.dir/flow.cpp.o.d"
+  "CMakeFiles/tpi_flow.dir/sweep.cpp.o"
+  "CMakeFiles/tpi_flow.dir/sweep.cpp.o.d"
   "libtpi_flow.a"
   "libtpi_flow.pdb"
 )

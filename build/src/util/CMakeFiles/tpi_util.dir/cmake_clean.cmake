@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/tpi_util.dir/stats.cpp.o.d"
   "CMakeFiles/tpi_util.dir/table.cpp.o"
   "CMakeFiles/tpi_util.dir/table.cpp.o.d"
+  "CMakeFiles/tpi_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/tpi_util.dir/thread_pool.cpp.o.d"
   "libtpi_util.a"
   "libtpi_util.pdb"
 )

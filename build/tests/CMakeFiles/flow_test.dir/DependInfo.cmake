@@ -8,7 +8,9 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/flow/flow_engine_test.cpp" "tests/CMakeFiles/flow_test.dir/flow/flow_engine_test.cpp.o" "gcc" "tests/CMakeFiles/flow_test.dir/flow/flow_engine_test.cpp.o.d"
   "/root/repo/tests/flow/flow_test.cpp" "tests/CMakeFiles/flow_test.dir/flow/flow_test.cpp.o" "gcc" "tests/CMakeFiles/flow_test.dir/flow/flow_test.cpp.o.d"
+  "/root/repo/tests/flow/sweep_test.cpp" "tests/CMakeFiles/flow_test.dir/flow/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/flow_test.dir/flow/sweep_test.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -1,6 +1,10 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/flow_test.dir/flow/flow_engine_test.cpp.o"
+  "CMakeFiles/flow_test.dir/flow/flow_engine_test.cpp.o.d"
   "CMakeFiles/flow_test.dir/flow/flow_test.cpp.o"
   "CMakeFiles/flow_test.dir/flow/flow_test.cpp.o.d"
+  "CMakeFiles/flow_test.dir/flow/sweep_test.cpp.o"
+  "CMakeFiles/flow_test.dir/flow/sweep_test.cpp.o.d"
   "flow_test"
   "flow_test.pdb"
 )

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/util_test.dir/util/stats_test.cpp.o.d"
   "CMakeFiles/util_test.dir/util/table_test.cpp.o"
   "CMakeFiles/util_test.dir/util/table_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/thread_pool_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/thread_pool_test.cpp.o.d"
   "util_test"
   "util_test.pdb"
 )

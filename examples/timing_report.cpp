@@ -49,13 +49,18 @@ int main(int argc, char** argv) {
     profile.name = keep;
   }
 
+  // Timing only: mask off the ATPG stage instead of the legacy
+  // run_atpg = false flag.
+  const StageMask timing_stages = StageMask::all().without(Stage::kReorderAtpg);
+
   FlowOptions base_opts;
-  base_opts.run_atpg = false;
-  const FlowResult base = run_flow(*lib, profile, base_opts);
+  FlowEngine base_engine(*lib, profile, base_opts);
+  const FlowResult base = base_engine.run(timing_stages);
 
   FlowOptions tp_opts = base_opts;
   tp_opts.tp_percent = tp_percent;
-  const FlowResult with_tp = run_flow(*lib, profile, tp_opts);
+  FlowEngine tp_engine(*lib, profile, tp_opts);
+  const FlowResult with_tp = tp_engine.run(timing_stages);
 
   std::printf("\n=== %s: static timing before/after TPI ===\n\n", profile.name.c_str());
   print_path(base, "without test points");
@@ -70,5 +75,13 @@ int main(int argc, char** argv) {
   std::printf("worst-path delta: %+.2f%% (paper §6: 1%% TP may cost >=5%% in\n"
               "performance when no timing optimisation is performed)\n",
               delta);
+
+  std::printf("\nflow stage wall clock (with-TP run):");
+  for (const Stage s : kAllStages) {
+    if (with_tp.timings.stage_ran(s)) {
+      std::printf("  %s %.0fms", stage_name(s), with_tp.timings[s]);
+    }
+  }
+  std::printf("  (total %.0fms)\n", with_tp.timings.total_ms());
   return 0;
 }

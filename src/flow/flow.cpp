@@ -1,11 +1,10 @@
 #include "flow/flow.hpp"
 
+#include <chrono>
 #include <cmath>
 
 #include "circuits/generator.hpp"
-#include "extraction/extraction.hpp"
 #include "layout/placement.hpp"
-#include "scan/scan.hpp"
 #include "sim/comb_model.hpp"
 #include "util/log.hpp"
 
@@ -42,6 +41,229 @@ std::unordered_set<NetId> small_slack_nets(const Netlist& nl, const CircuitProfi
 
 }  // namespace
 
+std::optional<Stage> stage_from_name(std::string_view name) {
+  for (const Stage s : kAllStages) {
+    if (name == stage_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
+std::string StageMask::to_string() const {
+  std::string out;
+  for (const Stage s : kAllStages) {
+    if (!has(s)) continue;
+    if (!out.empty()) out += '|';
+    out += stage_name(s);
+  }
+  return out.empty() ? "none" : out;
+}
+
+StageMask stage_mask_from(const FlowOptions& opts) {
+  StageMask mask = StageMask::all();
+  if (!opts.run_atpg) mask = mask.without(Stage::kReorderAtpg);
+  if (!opts.run_sta) mask = mask.without(Stage::kExtract).without(Stage::kSta);
+  return mask;
+}
+
+FlowEngine::FlowEngine(Netlist& nl, const CircuitProfile& profile, const FlowOptions& opts)
+    : nl_(&nl), profile_(profile), opts_(opts) {
+  res_.circuit = profile_.name;
+  scan_opts_.max_chain_length = profile_.max_chain_length;
+  scan_opts_.max_chains = profile_.max_chains;
+}
+
+FlowEngine::FlowEngine(const CellLibrary& lib, const CircuitProfile& profile,
+                       const FlowOptions& opts)
+    : owned_nl_(generate_circuit(lib, profile)), nl_(owned_nl_.get()), profile_(profile),
+      opts_(opts) {
+  res_.circuit = profile_.name;
+  scan_opts_.max_chain_length = profile_.max_chain_length;
+  scan_opts_.max_chains = profile_.max_chains;
+}
+
+FlowEngine::~FlowEngine() = default;
+
+bool FlowEngine::prerequisites_ok(Stage stage) const {
+  switch (stage) {
+    case Stage::kTpiScan:
+    case Stage::kFloorplanPlace:
+      return true;
+    case Stage::kReorderAtpg:
+    case Stage::kEco:
+      return fp_.has_value() && pl_.has_value();
+    case Stage::kExtract:
+      return routes_.has_value();
+    case Stage::kSta:
+      return extraction_.has_value();
+  }
+  return false;
+}
+
+StageEvent FlowEngine::make_event(Stage stage, double wall_ms) const {
+  StageEvent ev;
+  ev.stage = stage;
+  ev.name = stage_name(stage);
+  ev.wall_ms = wall_ms;
+  ev.num_cells = nl_->num_cells();
+  ev.num_nets = nl_->num_nets();
+  ev.result = &res_;
+  return ev;
+}
+
+bool FlowEngine::run_stage(Stage stage) {
+  const std::size_t idx = static_cast<std::size_t>(stage);
+  if (ran_[idx]) return false;
+  if (!prerequisites_ok(stage)) {
+    log_warn() << res_.circuit << ": stage " << stage_name(stage)
+               << " skipped (prerequisite stage did not run)";
+    return false;
+  }
+  if (observer_ != nullptr) observer_->on_stage_begin(make_event(stage, 0.0));
+  const auto t0 = std::chrono::steady_clock::now();
+  switch (stage) {
+    case Stage::kTpiScan: do_tpi_scan(); break;
+    case Stage::kFloorplanPlace: do_floorplan_place(); break;
+    case Stage::kReorderAtpg: do_reorder_atpg(); break;
+    case Stage::kEco: do_eco(); break;
+    case Stage::kExtract: do_extract(); break;
+    case Stage::kSta: do_sta(); break;
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ran_[idx] = true;
+  res_.timings.ran[idx] = true;
+  res_.timings.wall_ms[idx] = wall_ms;
+  if (observer_ != nullptr) observer_->on_stage_end(make_event(stage, wall_ms));
+  return true;
+}
+
+const FlowResult& FlowEngine::run(StageMask mask) {
+  for (const Stage s : kAllStages) {
+    if (mask.has(s)) run_stage(s);
+  }
+  log_info() << profile_.name << " @" << opts_.tp_percent << "% TP: cells=" << res_.num_cells
+             << " chip=" << res_.chip_area_um2 << "um2 wires=" << res_.wire_length_um
+             << "um Tcp=" << (res_.sta.worst.valid ? res_.sta.worst.t_cp_ps : 0.0) << "ps";
+  return res_;
+}
+
+// ---- stage 1: TPI & scan insertion ----
+void FlowEngine::do_tpi_scan() {
+  Netlist& nl = *nl_;
+  const int base_ffs = static_cast<int>(nl.flip_flops().size());
+  const int num_tp =
+      static_cast<int>(std::lround(opts_.tp_percent / 100.0 * static_cast<double>(base_ffs)));
+  TpiOptions tpi_opts;
+  tpi_opts.num_test_points = num_tp;
+  tpi_opts.method = opts_.tpi_method;
+  if (opts_.timing_driven_tpi && num_tp > 0) {
+    tpi_opts.excluded_nets = small_slack_nets(nl, profile_, opts_.timing_exclude_slack_ps);
+  }
+  const TpiReport tpi_report = insert_test_points(nl, tpi_opts);
+  res_.num_test_points = static_cast<int>(tpi_report.test_points.size());
+
+  insert_scan(nl, scan_opts_);
+  res_.num_ffs = static_cast<int>(nl.flip_flops().size());
+}
+
+// ---- stage 2: floorplanning & placement ----
+void FlowEngine::do_floorplan_place() {
+  FloorplanOptions fpo;
+  fpo.target_row_utilization = profile_.target_row_utilization;
+  fp_ = make_floorplan(*nl_, fpo);
+  PlacementOptions plo;
+  plo.seed = opts_.seed ^ profile_.seed;
+  pl_ = place(*nl_, *fp_, plo);
+}
+
+// Structural part of stage 3: assign scan cells to chains (layout-driven
+// when enabled), stitch the TI wiring, and buffer the scan-enable /
+// test-point control nets. Runs at most once per engine; when stage 3 is
+// masked off it still executes as a prerequisite of the eco stage.
+void FlowEngine::stitch_scan_chains() {
+  if (chains_stitched_) return;
+  chains_stitched_ = true;
+  Netlist& nl = *nl_;
+
+  ChainPlan plan;
+  if (opts_.layout_driven_reorder) {
+    plan = plan_chains(nl, scan_opts_, cell_positions(nl, *pl_));
+    reorder_chains(plan, cell_positions(nl, *pl_));
+  } else {
+    plan = plan_chains(nl, scan_opts_, {});
+  }
+  res_.scan_wire_length_um = chain_wire_length(plan, cell_positions(nl, *pl_));
+  stitch_chains(nl, plan);
+  res_.num_chains = plan.num_chains;
+  res_.max_chain_length = plan.max_length;
+
+  // Buffer the scan-enable and test-point control nets (step 3: "buffers
+  // and inverters may be added to the scan-enable signals").
+  const std::size_t cells_before_buffers = nl.num_cells();
+  for (const char* ctrl : {"scan_en", "tp_tr", "tp_te"}) {
+    const NetId n = nl.find_net(ctrl);
+    if (n != kNoNet) res_.scan_enable_buffers += buffer_high_fanout_net(nl, n);
+  }
+  for (std::size_t c = cells_before_buffers; c < nl.num_cells(); ++c) {
+    buffer_cells_.push_back(static_cast<CellId>(c));
+  }
+}
+
+// ---- stage 3: layout-driven scan chain reordering + ATPG ----
+void FlowEngine::do_reorder_atpg() {
+  stitch_scan_chains();
+
+  CombModel capture(*nl_, SeqView::kCapture);
+  const TestabilityResult testab = analyze_testability(capture);
+  AtpgOptions atpg_opts = opts_.atpg;
+  atpg_opts.seed ^= profile_.seed;
+  res_.atpg = run_atpg(capture, testab, atpg_opts);
+  res_.num_faults = res_.atpg.total_faults;
+  res_.fault_coverage_pct = res_.atpg.fault_coverage_pct;
+  res_.fault_efficiency_pct = res_.atpg.fault_efficiency_pct;
+  res_.saf_patterns = res_.atpg.num_patterns();
+  res_.tdv_bits = test_data_volume(res_.num_chains, res_.max_chain_length, res_.saf_patterns);
+  res_.tat_cycles = test_application_time(res_.max_chain_length, res_.saf_patterns);
+}
+
+// ---- stage 4: ECO — buffers placed, clock trees, fillers, routing ----
+void FlowEngine::do_eco() {
+  stitch_scan_chains();  // no-op when stage 3 already ran
+  Netlist& nl = *nl_;
+  const Floorplan& fp = *fp_;
+  Placement& pl = *pl_;
+
+  eco_place(nl, fp, pl, buffer_cells_);
+  const CtsReport cts = synthesize_clock_trees(nl, fp, pl);
+  res_.clock_buffers = cts.buffers_added;
+
+  const Netlist::Stats pre_filler = nl.stats();
+  res_.num_cells = static_cast<int>(pre_filler.cells);
+  const FillerReport fillers = insert_fillers(nl, fp, pl);
+
+  res_.num_rows = fp.num_rows;
+  res_.row_length_um = fp.row_length_um;
+  res_.total_row_length_um = fp.total_row_length_um();
+  res_.core_area_um2 = fp.core_area_um2();
+  res_.chip_area_um2 = fp.chip_area_um2();
+  res_.aspect_ratio = fp.aspect_ratio();
+  res_.filler_area_pct = 100.0 * fillers.area_um2 / fp.core_area_um2();
+  res_.row_utilization_pct = 100.0 * (1.0 - fillers.area_um2 / fp.core_area_um2());
+
+  // Scan stitching added si/so ports: refresh the IO pad ring before
+  // routing so every port has a physical location.
+  assign_io_pads(nl, fp, pl);
+  routes_ = route(nl, fp, pl);
+  res_.wire_length_um = routes_->total_wire_length_um;
+}
+
+// ---- stage 5: layout extraction ----
+void FlowEngine::do_extract() { extraction_ = extract(*nl_, *routes_); }
+
+// ---- stage 6: static timing analysis ----
+void FlowEngine::do_sta() { res_.sta = run_sta(*nl_, *extraction_); }
+
 FlowResult run_flow(const CellLibrary& lib, const CircuitProfile& profile,
                     const FlowOptions& opts) {
   std::unique_ptr<Netlist> nl = generate_circuit(lib, profile);
@@ -49,110 +271,8 @@ FlowResult run_flow(const CellLibrary& lib, const CircuitProfile& profile,
 }
 
 FlowResult run_flow_on(Netlist& nl, const CircuitProfile& profile, const FlowOptions& opts) {
-  FlowResult res;
-  res.circuit = profile.name;
-
-  // ---- step 1: TPI & scan insertion ----
-  const int base_ffs = static_cast<int>(nl.flip_flops().size());
-  const int num_tp =
-      static_cast<int>(std::lround(opts.tp_percent / 100.0 * static_cast<double>(base_ffs)));
-  TpiOptions tpi_opts;
-  tpi_opts.num_test_points = num_tp;
-  tpi_opts.method = opts.tpi_method;
-  if (opts.timing_driven_tpi && num_tp > 0) {
-    tpi_opts.excluded_nets =
-        small_slack_nets(nl, profile, opts.timing_exclude_slack_ps);
-  }
-  const TpiReport tpi_report = insert_test_points(nl, tpi_opts);
-  res.num_test_points = static_cast<int>(tpi_report.test_points.size());
-
-  ScanOptions scan_opts;
-  scan_opts.max_chain_length = profile.max_chain_length;
-  scan_opts.max_chains = profile.max_chains;
-  insert_scan(nl, scan_opts);
-  res.num_ffs = static_cast<int>(nl.flip_flops().size());
-
-  // ---- step 2: floorplanning & placement ----
-  FloorplanOptions fpo;
-  fpo.target_row_utilization = profile.target_row_utilization;
-  const Floorplan fp = make_floorplan(nl, fpo);
-  PlacementOptions plo;
-  plo.seed = opts.seed ^ profile.seed;
-  Placement pl = place(nl, fp, plo);
-
-  // ---- step 3: layout-driven scan chain reordering + ATPG ----
-  ChainPlan plan;
-  if (opts.layout_driven_reorder) {
-    plan = plan_chains(nl, scan_opts, cell_positions(nl, pl));
-    reorder_chains(plan, cell_positions(nl, pl));
-  } else {
-    plan = plan_chains(nl, scan_opts, {});
-  }
-  res.scan_wire_length_um = chain_wire_length(plan, cell_positions(nl, pl));
-  stitch_chains(nl, plan);
-  res.num_chains = plan.num_chains;
-  res.max_chain_length = plan.max_length;
-
-  // Buffer the scan-enable and test-point control nets (step 3: "buffers
-  // and inverters may be added to the scan-enable signals").
-  std::vector<CellId> buffer_cells;
-  const std::size_t cells_before_buffers = nl.num_cells();
-  for (const char* ctrl : {"scan_en", "tp_tr", "tp_te"}) {
-    const NetId n = nl.find_net(ctrl);
-    if (n != kNoNet) res.scan_enable_buffers += buffer_high_fanout_net(nl, n);
-  }
-  for (std::size_t c = cells_before_buffers; c < nl.num_cells(); ++c) {
-    buffer_cells.push_back(static_cast<CellId>(c));
-  }
-
-  if (opts.run_atpg) {
-    CombModel capture(nl, SeqView::kCapture);
-    const TestabilityResult testab = analyze_testability(capture);
-    AtpgOptions atpg_opts = opts.atpg;
-    atpg_opts.seed ^= profile.seed;
-    res.atpg = run_atpg(capture, testab, atpg_opts);
-    res.num_faults = res.atpg.total_faults;
-    res.fault_coverage_pct = res.atpg.fault_coverage_pct;
-    res.fault_efficiency_pct = res.atpg.fault_efficiency_pct;
-    res.saf_patterns = res.atpg.num_patterns();
-    res.tdv_bits = test_data_volume(res.num_chains, res.max_chain_length, res.saf_patterns);
-    res.tat_cycles = test_application_time(res.max_chain_length, res.saf_patterns);
-  }
-
-  // ---- step 4: ECO — buffers placed, clock trees, fillers, routing ----
-  eco_place(nl, fp, pl, buffer_cells);
-  const CtsReport cts = synthesize_clock_trees(nl, fp, pl);
-  res.clock_buffers = cts.buffers_added;
-
-  const Netlist::Stats pre_filler = nl.stats();
-  res.num_cells = static_cast<int>(pre_filler.cells);
-  const FillerReport fillers = insert_fillers(nl, fp, pl);
-
-  res.num_rows = fp.num_rows;
-  res.row_length_um = fp.row_length_um;
-  res.total_row_length_um = fp.total_row_length_um();
-  res.core_area_um2 = fp.core_area_um2();
-  res.chip_area_um2 = fp.chip_area_um2();
-  res.aspect_ratio = fp.aspect_ratio();
-  res.filler_area_pct = 100.0 * fillers.area_um2 / fp.core_area_um2();
-  res.row_utilization_pct = 100.0 * (1.0 - fillers.area_um2 / fp.core_area_um2());
-
-  // Scan stitching added si/so ports: refresh the IO pad ring before
-  // routing so every port has a physical location.
-  assign_io_pads(nl, fp, pl);
-  const RoutingResult routes = route(nl, fp, pl);
-  res.wire_length_um = routes.total_wire_length_um;
-
-  // ---- steps 5-6: extraction + STA ----
-  if (opts.run_sta) {
-    const ExtractionResult px = extract(nl, routes);
-    res.sta = run_sta(nl, px);
-  }
-
-  log_info() << profile.name << " @" << opts.tp_percent << "% TP: cells=" << res.num_cells
-             << " chip=" << res.chip_area_um2 << "um2 wires=" << res.wire_length_um
-             << "um Tcp=" << (res.sta.worst.valid ? res.sta.worst.t_cp_ps : 0.0) << "ps";
-  return res;
+  FlowEngine engine(nl, profile, opts);
+  return engine.run(stage_mask_from(opts));
 }
 
 }  // namespace tpi

@@ -1,24 +1,35 @@
-// End-to-end tool flow of Fig. 2 (§3.2):
+// End-to-end tool flow of Fig. 2 (§3.2), exposed as a staged engine:
 //
-//   1. TPI & scan insertion          (tpi, scan)
-//   2. floorplanning & placement     (layout)
-//   3. layout-driven scan chain reordering + ATPG   (scan, atpg)
-//   4. ECO: clock trees, fillers, routing           (layout)
-//   5. layout extraction             (extraction)
-//   6. static timing analysis        (sta)
+//   1. tpi_scan         TPI & scan insertion          (tpi, scan)
+//   2. floorplan_place  floorplanning & placement     (layout)
+//   3. reorder_atpg     layout-driven scan chain reordering + ATPG (scan, atpg)
+//   4. eco              ECO: clock trees, fillers, routing         (layout)
+//   5. extract          layout extraction             (extraction)
+//   6. sta              static timing analysis        (sta)
 //
 // Layouts for different test-point counts are generated from scratch, as
 // in §4.1, with identical floorplan policy (square core, same target row
 // utilisation) so the comparison across TP percentages is fair.
+//
+// FlowEngine runs the stages one by one, times each, and reports progress
+// through an optional FlowObserver. Callers pick the stages they need with
+// a StageMask (partial flows, ablations); the legacy run_flow()/
+// run_flow_on() wrappers execute the full flow honoring the deprecated
+// FlowOptions::run_atpg / run_sta booleans.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "atpg/atpg.hpp"
 #include "circuits/profiles.hpp"
+#include "extraction/extraction.hpp"
+#include "flow/stage.hpp"
 #include "layout/clock_tree.hpp"
 #include "layout/routing.hpp"
+#include "scan/scan.hpp"
 #include "sta/sta.hpp"
 #include "tpi/tpi.hpp"
 
@@ -35,11 +46,18 @@ struct FlowOptions {
   bool timing_driven_tpi = false;
   double timing_exclude_slack_ps = 400.0;
 
+  /// Deprecated: select stages with FlowEngine::run(StageMask) instead.
+  /// Still honored by run_flow()/run_flow_on() via stage_mask_from().
   bool run_atpg = true;  ///< Table 1 needs it; Tables 2-3 do not
   bool run_sta = true;
   AtpgOptions atpg;
   std::uint64_t seed = 0xF10F;
 };
+
+/// StageMask equivalent of the deprecated run_atpg / run_sta booleans:
+/// all stages, minus reorder_atpg when !run_atpg, minus extract+sta when
+/// !run_sta.
+StageMask stage_mask_from(const FlowOptions& opts);
 
 struct FlowResult {
   std::string circuit;
@@ -76,9 +94,87 @@ struct FlowResult {
   int clock_buffers = 0;
   double scan_wire_length_um = 0.0;
   AtpgResult atpg;
+
+  // ---- instrumentation ----
+  StageTimings timings;  ///< per-stage wall clock for this run
+};
+
+/// Staged driver for the Fig. 2 flow. One engine instance = one flow run
+/// over one netlist; construct a fresh engine per (circuit, tp_percent)
+/// grid cell. Stages can be run all at once (run), or one at a time
+/// (run_stage) with intermediate layout state inspected in between.
+class FlowEngine {
+ public:
+  /// Engine over a caller-supplied netlist (consumed/modified in place).
+  FlowEngine(Netlist& nl, const CircuitProfile& profile, const FlowOptions& opts);
+  /// Generates a fresh circuit for `profile` and owns it.
+  FlowEngine(const CellLibrary& lib, const CircuitProfile& profile,
+             const FlowOptions& opts);
+  ~FlowEngine();
+
+  FlowEngine(const FlowEngine&) = delete;
+  FlowEngine& operator=(const FlowEngine&) = delete;
+
+  /// Observer receiving on_stage_begin/end callbacks (nullptr = none).
+  /// Not owned; must outlive the run.
+  void set_observer(FlowObserver* observer) { observer_ = observer; }
+
+  /// Run the masked stages in flow order; a stage whose structural
+  /// prerequisites were masked off is skipped with a warning (see
+  /// StageMask docs for the reorder_atpg special case). Returns result().
+  const FlowResult& run(StageMask mask = StageMask::all());
+
+  /// Run a single stage now. Returns false (without running) when the
+  /// stage already ran or its prerequisites are missing.
+  bool run_stage(Stage stage);
+
+  /// Metrics accumulated so far; fields of stages that have not run are
+  /// default-initialised.
+  const FlowResult& result() const { return res_; }
+  bool stage_ran(Stage stage) const { return ran_[static_cast<std::size_t>(stage)]; }
+
+  /// Intermediate layout state, for partial-flow callers (snapshots,
+  /// custom analyses). Null until the producing stage ran.
+  const Netlist& netlist() const { return *nl_; }
+  const Floorplan* floorplan() const { return fp_ ? &*fp_ : nullptr; }
+  const Placement* placement() const { return pl_ ? &*pl_ : nullptr; }
+  const RoutingResult* routes() const { return routes_ ? &*routes_ : nullptr; }
+
+ private:
+  void do_tpi_scan();
+  void do_floorplan_place();
+  void do_reorder_atpg();
+  void do_eco();
+  void do_extract();
+  void do_sta();
+  /// Chain planning + stitch + control-net buffering: the structural part
+  /// of stage 3, needed by eco even when ATPG is masked off.
+  void stitch_scan_chains();
+  bool prerequisites_ok(Stage stage) const;
+  StageEvent make_event(Stage stage, double wall_ms) const;
+
+  std::unique_ptr<Netlist> owned_nl_;  ///< set by the generating constructor
+  Netlist* nl_;
+  CircuitProfile profile_;
+  FlowOptions opts_;
+  FlowObserver* observer_ = nullptr;
+
+  FlowResult res_;
+  std::array<bool, kNumStages> ran_{};
+
+  // Inter-stage state.
+  ScanOptions scan_opts_;
+  bool chains_stitched_ = false;
+  std::vector<CellId> buffer_cells_;
+  std::optional<Floorplan> fp_;
+  std::optional<Placement> pl_;
+  std::optional<RoutingResult> routes_;
+  std::optional<ExtractionResult> extraction_;
 };
 
 /// Run the full flow on a freshly generated circuit for `profile`.
+/// Compatibility wrapper over FlowEngine honoring the deprecated
+/// run_atpg/run_sta flags.
 FlowResult run_flow(const CellLibrary& lib, const CircuitProfile& profile,
                     const FlowOptions& opts);
 

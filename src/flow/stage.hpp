@@ -1,0 +1,125 @@
+// Stage model for the Fig. 2 flow (§3.2): the six named stages the
+// FlowEngine executes, a bitset type for selecting them, per-stage wall
+// clock records, and the observer interface through which callers watch a
+// run progress (progress bars, per-stage profiling, ablation harnesses).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tpi {
+
+struct FlowResult;  // flow.hpp
+
+/// The six stages of the paper's tool flow, in execution order.
+enum class Stage : std::uint8_t {
+  kTpiScan = 0,         ///< 1. TPI & scan insertion
+  kFloorplanPlace = 1,  ///< 2. floorplanning & placement
+  kReorderAtpg = 2,     ///< 3. layout-driven scan chain reordering + ATPG
+  kEco = 3,             ///< 4. ECO: clock trees, fillers, routing
+  kExtract = 4,         ///< 5. layout extraction
+  kSta = 5,             ///< 6. static timing analysis
+};
+
+inline constexpr int kNumStages = 6;
+
+/// All stages in execution order (for range-for loops).
+inline constexpr std::array<Stage, kNumStages> kAllStages = {
+    Stage::kTpiScan, Stage::kFloorplanPlace, Stage::kReorderAtpg,
+    Stage::kEco,     Stage::kExtract,        Stage::kSta,
+};
+
+/// Stable snake_case stage name, also used as the JSON key in sweep reports.
+constexpr const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kTpiScan: return "tpi_scan";
+    case Stage::kFloorplanPlace: return "floorplan_place";
+    case Stage::kReorderAtpg: return "reorder_atpg";
+    case Stage::kEco: return "eco";
+    case Stage::kExtract: return "extract";
+    case Stage::kSta: return "sta";
+  }
+  return "?";
+}
+
+std::optional<Stage> stage_from_name(std::string_view name);
+
+/// Bitset over the six stages. The structural stages (tpi_scan,
+/// floorplan_place, eco) gate netlist/layout construction: masking one off
+/// also starves every downstream stage that needs its product, and the
+/// engine skips those with a warning. The analysis stages (reorder_atpg,
+/// extract, sta) gate their analyses only; in particular, masking off
+/// reorder_atpg skips compact ATPG while the scan-chain stitch — a
+/// structural prerequisite of the downstream layout stages — still runs
+/// (attributed to the eco stage), exactly matching the legacy
+/// `run_atpg = false` behaviour.
+class StageMask {
+ public:
+  constexpr StageMask() = default;
+
+  static constexpr StageMask all() { return StageMask((1u << kNumStages) - 1u); }
+  static constexpr StageMask none() { return StageMask(0); }
+  /// Stages kTpiScan..s inclusive — the "run the flow up to here" mask.
+  static constexpr StageMask through(Stage s) {
+    return StageMask((1u << (static_cast<unsigned>(s) + 1u)) - 1u);
+  }
+
+  constexpr bool has(Stage s) const { return (bits_ & bit(s)) != 0; }
+  constexpr StageMask with(Stage s) const { return StageMask(bits_ | bit(s)); }
+  constexpr StageMask without(Stage s) const { return StageMask(bits_ & ~bit(s)); }
+  constexpr bool empty() const { return bits_ == 0; }
+
+  constexpr bool operator==(const StageMask& o) const { return bits_ == o.bits_; }
+  constexpr bool operator!=(const StageMask& o) const { return bits_ != o.bits_; }
+
+  /// "tpi_scan|floorplan_place|..." ("none" when empty).
+  std::string to_string() const;
+
+ private:
+  explicit constexpr StageMask(unsigned bits) : bits_(bits) {}
+  static constexpr unsigned bit(Stage s) { return 1u << static_cast<unsigned>(s); }
+  unsigned bits_ = 0;
+};
+
+/// Wall-clock per stage for one flow run. Stages that were masked off (or
+/// skipped for missing prerequisites) have ran = false and wall_ms = 0.
+struct StageTimings {
+  std::array<double, kNumStages> wall_ms{};
+  std::array<bool, kNumStages> ran{};
+
+  double operator[](Stage s) const { return wall_ms[static_cast<std::size_t>(s)]; }
+  bool stage_ran(Stage s) const { return ran[static_cast<std::size_t>(s)]; }
+  double total_ms() const {
+    double t = 0.0;
+    for (double v : wall_ms) t += v;
+    return t;
+  }
+};
+
+/// Snapshot handed to FlowObserver callbacks. `result` points at the
+/// engine-owned partial FlowResult: fields produced by earlier stages are
+/// final, later ones still zero. Valid only for the duration of the call.
+struct StageEvent {
+  Stage stage = Stage::kTpiScan;
+  const char* name = "";
+  double wall_ms = 0.0;  ///< 0 in on_stage_begin
+  std::size_t num_cells = 0;
+  std::size_t num_nets = 0;
+  const FlowResult* result = nullptr;
+};
+
+/// Observer hook for FlowEngine: progress reporting, per-stage profiling,
+/// intermediate-state assertions in tests. Callbacks run on the thread
+/// executing the flow (under SweepRunner that is a worker thread — observers
+/// shared across jobs must be thread-safe).
+class FlowObserver {
+ public:
+  virtual ~FlowObserver() = default;
+  virtual void on_stage_begin(const StageEvent& /*event*/) {}
+  virtual void on_stage_end(const StageEvent& /*event*/) {}
+};
+
+}  // namespace tpi

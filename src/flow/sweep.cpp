@@ -1,0 +1,177 @@
+#include "flow/sweep.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <utility>
+
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tpi {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // labels are plain ASCII
+    out += c;
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  return buf;
+}
+
+std::string stages_json(const StageTimings& t) {
+  std::string out = "{";
+  bool first = true;
+  for (const Stage s : kAllStages) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"";
+    out += stage_name(s);
+    out += "\": ";
+    out += fmt_double(t[s]);
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+std::string SweepReport::to_json() const {
+  std::string out = "{\n  \"context\": {\n";
+  out += "    \"jobs\": " + std::to_string(jobs) + ",\n";
+  out += "    \"num_cells\": " + std::to_string(cells.size()) + ",\n";
+  out += "    \"wall_ms\": " + fmt_double(wall_ms) + ",\n";
+  out += "    \"cpu_ms\": " + fmt_double(cpu_ms) + ",\n";
+  out += "    \"speedup\": " + fmt_double(speedup()) + "\n";
+  out += "  },\n  \"benchmarks\": [\n";
+  bool first = true;
+  for (const SweepCellResult& cell : cells) {
+    if (!first) out += ",\n";
+    first = false;
+    const FlowResult& r = cell.result;
+    out += "    {\"name\": \"" + json_escape(cell.job.label) + "\", ";
+    out += "\"run_type\": \"iteration\", \"iterations\": 1, ";
+    out += "\"real_time\": " + fmt_double(cell.wall_ms) + ", ";
+    out += "\"time_unit\": \"ms\", ";
+    out += "\"tp_percent\": " + fmt_double(cell.job.options.tp_percent) + ", ";
+    out += "\"num_test_points\": " + std::to_string(r.num_test_points) + ", ";
+    out += "\"num_cells\": " + std::to_string(r.num_cells) + ", ";
+    out += "\"saf_patterns\": " + std::to_string(r.saf_patterns) + ", ";
+    out += "\"chip_area_um2\": " + fmt_double(r.chip_area_um2) + ", ";
+    out += "\"wire_length_um\": " + fmt_double(r.wire_length_um) + ", ";
+    out += "\"t_cp_ps\": " + fmt_double(r.sta.worst.valid ? r.sta.worst.t_cp_ps : 0.0) + ", ";
+    out += "\"stages\": " + stages_json(r.timings) + "}";
+  }
+  for (const Stage s : kAllStages) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"name\": \"stage_totals/";
+    out += stage_name(s);
+    out += "\", \"run_type\": \"aggregate\", \"aggregate_name\": \"total\", ";
+    out += "\"real_time\": " + fmt_double(stage_total_ms[static_cast<std::size_t>(s)]) +
+           ", \"time_unit\": \"ms\"}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool SweepReport::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    log_warn() << "SweepReport: cannot write " << path;
+    return false;
+  }
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) log_warn() << "SweepReport: short write to " << path;
+  return ok;
+}
+
+SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts) {}
+
+int SweepRunner::effective_jobs() const {
+  return opts_.jobs > 0 ? opts_.jobs : static_cast<int>(ThreadPool::default_concurrency());
+}
+
+std::vector<SweepJob> SweepRunner::grid(const std::vector<CircuitProfile>& circuits,
+                                        const std::vector<double>& tp_percents,
+                                        const FlowOptions& base_options, StageMask stages) {
+  std::vector<SweepJob> jobs;
+  jobs.reserve(circuits.size() * tp_percents.size());
+  for (const CircuitProfile& profile : circuits) {
+    for (const double pct : tp_percents) {
+      SweepJob job;
+      char pct_str[32];
+      std::snprintf(pct_str, sizeof pct_str, "%g", pct);
+      job.label = profile.name + "/tp=" + pct_str;
+      job.profile = profile;
+      job.options = base_options;
+      job.options.tp_percent = pct;
+      job.stages = stages;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+SweepReport SweepRunner::run(const CellLibrary& lib, std::vector<SweepJob> jobs) const {
+  SweepReport report;
+  report.jobs = effective_jobs();
+  report.cells.reserve(jobs.size());
+
+  struct CellOut {
+    FlowResult result;
+    double wall_ms;
+  };
+
+  const bool progress = opts_.progress;
+  FlowObserver* observer = opts_.observer;
+  const auto sweep_t0 = Clock::now();
+  std::vector<std::future<CellOut>> futures;
+  futures.reserve(jobs.size());
+  {
+    ThreadPool pool(static_cast<unsigned>(report.jobs));
+    for (const SweepJob& job : jobs) {
+      futures.push_back(pool.submit([&lib, &job, progress, observer] {
+        if (progress) std::fprintf(stderr, "[sweep] %s...\n", job.label.c_str());
+        const auto t0 = Clock::now();
+        FlowEngine engine(lib, job.profile, job.options);
+        engine.set_observer(observer);
+        engine.run(job.stages);
+        return CellOut{engine.result(), ms_since(t0)};
+      }));
+    }
+    // Collect in submission order so the report layout matches the grid
+    // regardless of scheduling; future::get() rethrows task exceptions.
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      CellOut out = futures[i].get();
+      report.cells.push_back(
+          {std::move(jobs[i]), std::move(out.result), out.wall_ms});
+    }
+  }
+  report.wall_ms = ms_since(sweep_t0);
+  for (const SweepCellResult& cell : report.cells) {
+    report.cpu_ms += cell.wall_ms;
+    for (const Stage s : kAllStages) {
+      report.stage_total_ms[static_cast<std::size_t>(s)] += cell.result.timings[s];
+    }
+  }
+  return report;
+}
+
+}  // namespace tpi

@@ -1,0 +1,90 @@
+// Parallel sweep runner for the paper's experiment grids. Every table in
+// the paper is a (circuit × tp_percent) grid of independent full-layout
+// runs; SweepRunner executes such a grid on a fixed-size thread pool with
+// deterministic per-task seeding (each cell's seeds derive only from its
+// FlowOptions::seed and CircuitProfile::seed, never from scheduling), so
+// the results are bit-identical at any job count — including jobs = 1,
+// which the equivalence tests use as the serial reference.
+//
+// The runner aggregates per-stage wall-clock totals across the grid and
+// can serialise the whole report as google-benchmark-style JSON (the
+// format emitted by bench_kernel_microbench --benchmark_format=json), so
+// the same tooling can consume kernel and flow-level timings.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+
+namespace tpi {
+
+/// One grid cell: a full flow run of `profile` with `options`
+/// (tp_percent and seeds live inside `options`), restricted to `stages`.
+struct SweepJob {
+  std::string label;  ///< report key, e.g. "s38417/tp=2"
+  CircuitProfile profile;
+  FlowOptions options;
+  StageMask stages = StageMask::all();
+};
+
+struct SweepOptions {
+  /// Worker threads; <= 0 selects ThreadPool::default_concurrency().
+  int jobs = 0;
+  /// Announce each cell on stderr as a worker picks it up.
+  bool progress = true;
+  /// Observer attached to every FlowEngine (must be thread-safe when
+  /// jobs > 1); nullptr = none.
+  FlowObserver* observer = nullptr;
+};
+
+struct SweepCellResult {
+  SweepJob job;
+  FlowResult result;
+  double wall_ms = 0.0;  ///< whole-flow wall clock for this cell
+};
+
+struct SweepReport {
+  std::vector<SweepCellResult> cells;  ///< in job submission order
+  int jobs = 1;                        ///< worker threads actually used
+  double wall_ms = 0.0;                ///< sweep wall clock
+  double cpu_ms = 0.0;                 ///< sum of per-cell wall clocks
+  std::array<double, kNumStages> stage_total_ms{};  ///< per-stage totals
+
+  /// Parallel speedup actually realised: cpu_ms / wall_ms.
+  double speedup() const { return wall_ms > 0.0 ? cpu_ms / wall_ms : 1.0; }
+
+  /// google-benchmark-style JSON: {"context": ..., "benchmarks": [...]}
+  /// with one entry per cell (real_time = cell wall clock, per-stage times
+  /// under "stages") plus one "stage_totals/<stage>" aggregate per stage.
+  std::string to_json() const;
+
+  /// to_json() written to `path` (returns false + warning on I/O failure).
+  bool write_json(const std::string& path) const;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions opts = {});
+
+  /// Execute all jobs on the pool; blocks until the grid is done. An
+  /// exception escaping a cell's flow run is rethrown here after the
+  /// remaining cells finish.
+  SweepReport run(const CellLibrary& lib, std::vector<SweepJob> jobs) const;
+
+  /// The paper's grid: every circuit at every tp_percent, as jobs in
+  /// circuit-major order with labels "<circuit>/tp=<pct>".
+  static std::vector<SweepJob> grid(const std::vector<CircuitProfile>& circuits,
+                                    const std::vector<double>& tp_percents,
+                                    const FlowOptions& base_options,
+                                    StageMask stages = StageMask::all());
+
+  /// Number of worker threads run() will use.
+  int effective_jobs() const;
+
+ private:
+  SweepOptions opts_;
+};
+
+}  // namespace tpi

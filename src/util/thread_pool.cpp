@@ -1,0 +1,46 @@
+#include "util/thread_pool.hpp"
+
+namespace tpi {
+
+unsigned ThreadPool::default_concurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1u;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) num_threads = default_concurrency();
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
+}  // namespace tpi

@@ -1,0 +1,70 @@
+// Fixed-size thread pool used by the sweep runner to execute independent
+// (circuit × tp_percent) flow runs concurrently. Deliberately minimal: a
+// single FIFO queue, no work stealing, futures for results and exception
+// propagation. Tasks are picked up in submission order; with one worker the
+// pool degrades to deterministic serial execution, which the
+// parallel-vs-serial equivalence tests rely on.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace tpi {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = default_concurrency()).
+  explicit ThreadPool(unsigned num_threads = 0);
+
+  /// Drains every queued task, then joins the workers: all futures returned
+  /// by submit() are ready once the destructor returns.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Tasks not yet picked up by a worker.
+  std::size_t pending() const;
+
+  /// std::thread::hardware_concurrency() with a floor of 1 (the standard
+  /// allows it to return 0 when unknowable).
+  static unsigned default_concurrency();
+
+  /// Enqueue `fn` and return a future for its result. An exception thrown
+  /// by the task is captured and rethrown from future::get().
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit() after shutdown");
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace tpi

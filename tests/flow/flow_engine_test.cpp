@@ -1,0 +1,187 @@
+// FlowEngine stage-model tests: observer callbacks, stage masks, per-stage
+// timings, and equivalence with the legacy run_flow_on() wrapper.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../common/test_circuits.hpp"
+#include "circuits/generator.hpp"
+#include "flow/flow.hpp"
+
+namespace tpi {
+namespace {
+
+using test::lib;
+
+class RecordingObserver : public FlowObserver {
+ public:
+  void on_stage_begin(const StageEvent& ev) override { begins.push_back(ev.stage); }
+  void on_stage_end(const StageEvent& ev) override {
+    ends.push_back(ev.stage);
+    wall_ms.push_back(ev.wall_ms);
+    cells_at_end.push_back(ev.num_cells);
+  }
+  std::vector<Stage> begins, ends;
+  std::vector<double> wall_ms;
+  std::vector<std::size_t> cells_at_end;
+};
+
+TEST(StageMaskTest, NamedStageAlgebra) {
+  EXPECT_TRUE(StageMask::all().has(Stage::kSta));
+  EXPECT_FALSE(StageMask::none().has(Stage::kTpiScan));
+  EXPECT_TRUE(StageMask::none().empty());
+
+  const StageMask m = StageMask::all().without(Stage::kReorderAtpg);
+  EXPECT_FALSE(m.has(Stage::kReorderAtpg));
+  EXPECT_TRUE(m.has(Stage::kEco));
+  EXPECT_EQ(m.with(Stage::kReorderAtpg), StageMask::all());
+
+  const StageMask upto = StageMask::through(Stage::kFloorplanPlace);
+  EXPECT_TRUE(upto.has(Stage::kTpiScan));
+  EXPECT_TRUE(upto.has(Stage::kFloorplanPlace));
+  EXPECT_FALSE(upto.has(Stage::kReorderAtpg));
+
+  EXPECT_EQ(StageMask::all().to_string(),
+            "tpi_scan|floorplan_place|reorder_atpg|eco|extract|sta");
+  EXPECT_EQ(StageMask::none().to_string(), "none");
+}
+
+TEST(StageMaskTest, StageNamesRoundTrip) {
+  for (const Stage s : kAllStages) {
+    const auto parsed = stage_from_name(stage_name(s));
+    ASSERT_TRUE(parsed.has_value()) << stage_name(s);
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(stage_from_name("no_such_stage").has_value());
+}
+
+TEST(StageMaskTest, LegacyBooleansMapOntoMask) {
+  FlowOptions opts;
+  EXPECT_EQ(stage_mask_from(opts), StageMask::all());
+  opts.run_atpg = false;
+  EXPECT_EQ(stage_mask_from(opts), StageMask::all().without(Stage::kReorderAtpg));
+  opts.run_sta = false;
+  EXPECT_EQ(stage_mask_from(opts), StageMask::all()
+                                       .without(Stage::kReorderAtpg)
+                                       .without(Stage::kExtract)
+                                       .without(Stage::kSta));
+}
+
+TEST(FlowEngineTest, ObserverSeesAllSixStagesInOrder) {
+  FlowOptions opts;
+  opts.tp_percent = 5.0;
+  FlowEngine engine(lib(), test::tiny_profile(21), opts);
+  RecordingObserver obs;
+  engine.set_observer(&obs);
+  engine.run();
+
+  const std::vector<Stage> expected(kAllStages.begin(), kAllStages.end());
+  EXPECT_EQ(obs.begins, expected);
+  EXPECT_EQ(obs.ends, expected);
+  for (const double ms : obs.wall_ms) EXPECT_GE(ms, 0.0);
+  // Cell count only grows along the flow (TPI, scan, buffers, CTS, fillers).
+  for (std::size_t i = 1; i < obs.cells_at_end.size(); ++i) {
+    EXPECT_GE(obs.cells_at_end[i], obs.cells_at_end[i - 1]);
+  }
+}
+
+TEST(FlowEngineTest, RecordsPerStageTimings) {
+  FlowOptions opts;
+  opts.tp_percent = 5.0;
+  FlowEngine engine(lib(), test::tiny_profile(22), opts);
+  const FlowResult& r = engine.run();
+  for (const Stage s : kAllStages) {
+    EXPECT_TRUE(r.timings.stage_ran(s)) << stage_name(s);
+    EXPECT_GE(r.timings[s], 0.0);
+  }
+  EXPECT_GT(r.timings.total_ms(), 0.0);
+}
+
+TEST(FlowEngineTest, PartialFlowStopsAtPlacement) {
+  FlowEngine engine(lib(), test::tiny_profile(23), FlowOptions{});
+  const FlowResult& r = engine.run(StageMask::through(Stage::kFloorplanPlace));
+  EXPECT_TRUE(engine.stage_ran(Stage::kFloorplanPlace));
+  EXPECT_FALSE(engine.stage_ran(Stage::kEco));
+  EXPECT_NE(engine.floorplan(), nullptr);
+  EXPECT_NE(engine.placement(), nullptr);
+  EXPECT_EQ(engine.routes(), nullptr);
+  EXPECT_EQ(r.num_cells, 0);  // Table 2 fields are produced by the eco stage
+  EXPECT_FALSE(r.sta.worst.valid);
+  EXPECT_FALSE(r.timings.stage_ran(Stage::kEco));
+}
+
+TEST(FlowEngineTest, SkipsStagesWithMissingPrerequisites) {
+  // eco masked off: extract and sta have no routes to work with and must
+  // skip rather than crash.
+  FlowEngine engine(lib(), test::tiny_profile(24), FlowOptions{});
+  const StageMask mask = StageMask::all().without(Stage::kEco);
+  const FlowResult& r = engine.run(mask);
+  EXPECT_FALSE(engine.stage_ran(Stage::kEco));
+  EXPECT_FALSE(engine.stage_ran(Stage::kExtract));
+  EXPECT_FALSE(engine.stage_ran(Stage::kSta));
+  EXPECT_TRUE(engine.stage_ran(Stage::kReorderAtpg));
+  EXPECT_GT(r.saf_patterns, 0);  // ATPG ran on the placed netlist
+}
+
+TEST(FlowEngineTest, StagesCanBeRunOneAtATime) {
+  FlowOptions opts;
+  opts.tp_percent = 5.0;
+  FlowEngine engine(lib(), test::tiny_profile(25), opts);
+  EXPECT_FALSE(engine.run_stage(Stage::kEco));  // prerequisites missing
+  EXPECT_TRUE(engine.run_stage(Stage::kTpiScan));
+  EXPECT_FALSE(engine.run_stage(Stage::kTpiScan));  // already ran
+  EXPECT_TRUE(engine.run_stage(Stage::kFloorplanPlace));
+  EXPECT_TRUE(engine.run_stage(Stage::kEco));
+  EXPECT_TRUE(engine.run_stage(Stage::kExtract));
+  EXPECT_TRUE(engine.run_stage(Stage::kSta));
+  EXPECT_TRUE(engine.result().sta.worst.valid);
+}
+
+// The legacy wrappers and the staged engine must produce bit-identical
+// results for the same profile and options (the wrapper IS the engine, but
+// this pins the compat mapping of run_atpg/run_sta onto StageMask).
+TEST(FlowEngineTest, WrapperMatchesEngineBitExactly) {
+  for (const bool with_atpg : {false, true}) {
+    FlowOptions opts;
+    opts.tp_percent = 10.0;
+    opts.run_atpg = with_atpg;
+    const FlowResult a = run_flow(lib(), test::tiny_profile(26), opts);
+
+    FlowEngine engine(lib(), test::tiny_profile(26), opts);
+    const FlowResult& b = engine.run(stage_mask_from(opts));
+
+    EXPECT_EQ(a.num_test_points, b.num_test_points);
+    EXPECT_EQ(a.num_ffs, b.num_ffs);
+    EXPECT_EQ(a.num_chains, b.num_chains);
+    EXPECT_EQ(a.saf_patterns, b.saf_patterns);
+    EXPECT_EQ(a.num_cells, b.num_cells);
+    EXPECT_DOUBLE_EQ(a.scan_wire_length_um, b.scan_wire_length_um);
+    EXPECT_DOUBLE_EQ(a.wire_length_um, b.wire_length_um);
+    EXPECT_DOUBLE_EQ(a.chip_area_um2, b.chip_area_um2);
+    EXPECT_DOUBLE_EQ(a.sta.worst.t_cp_ps, b.sta.worst.t_cp_ps);
+  }
+}
+
+// Masking off reorder_atpg must reproduce the legacy run_atpg=false flow
+// exactly: chains still stitched (they shape routing), ATPG skipped.
+TEST(FlowEngineTest, MaskedAtpgKeepsScanStitchingIdentical) {
+  FlowOptions legacy;
+  legacy.tp_percent = 5.0;
+  legacy.run_atpg = false;
+  const FlowResult a = run_flow(lib(), test::tiny_profile(27), legacy);
+
+  FlowOptions opts;
+  opts.tp_percent = 5.0;
+  FlowEngine engine(lib(), test::tiny_profile(27), opts);
+  const FlowResult& b = engine.run(StageMask::all().without(Stage::kReorderAtpg));
+
+  EXPECT_EQ(b.saf_patterns, 0);
+  EXPECT_GT(b.num_chains, 0);
+  EXPECT_EQ(a.num_chains, b.num_chains);
+  EXPECT_DOUBLE_EQ(a.scan_wire_length_um, b.scan_wire_length_um);
+  EXPECT_DOUBLE_EQ(a.wire_length_um, b.wire_length_um);
+  EXPECT_DOUBLE_EQ(a.sta.worst.t_cp_ps, b.sta.worst.t_cp_ps);
+}
+
+}  // namespace
+}  // namespace tpi

@@ -1,0 +1,138 @@
+// SweepRunner tests: deterministic parallel execution of the paper's
+// (circuit x tp_percent) grid. The load-bearing property is that results
+// are bit-identical at any job count.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../common/test_circuits.hpp"
+#include "flow/sweep.hpp"
+
+namespace tpi {
+namespace {
+
+using test::lib;
+
+std::vector<SweepJob> tiny_grid() {
+  FlowOptions base;
+  base.run_sta = true;
+  return SweepRunner::grid({test::tiny_profile(31), test::tiny_profile(32)},
+                           {0.0, 2.0, 5.0}, base);
+}
+
+TEST(SweepRunnerTest, GridEnumeratesCircuitMajorWithLabels) {
+  const auto jobs = tiny_grid();
+  ASSERT_EQ(jobs.size(), 6u);
+  EXPECT_EQ(jobs[0].label, "tiny/tp=0");
+  EXPECT_EQ(jobs[1].label, "tiny/tp=2");
+  EXPECT_EQ(jobs[2].label, "tiny/tp=5");
+  EXPECT_DOUBLE_EQ(jobs[1].options.tp_percent, 2.0);
+  EXPECT_EQ(jobs[3].profile.seed, test::tiny_profile(32).seed);
+  EXPECT_EQ(jobs[0].stages, StageMask::all());
+}
+
+TEST(SweepRunnerTest, EffectiveJobsClampsToAtLeastOne) {
+  EXPECT_GE(SweepRunner(SweepOptions{}).effective_jobs(), 1);
+  SweepOptions two;
+  two.jobs = 2;
+  EXPECT_EQ(SweepRunner(two).effective_jobs(), 2);
+}
+
+// The acceptance property: same seeds => bit-identical FlowResult for every
+// grid cell, regardless of how many workers executed the sweep.
+TEST(SweepRunnerTest, ParallelMatchesSerialBitExactly) {
+  SweepOptions serial_opts;
+  serial_opts.jobs = 1;
+  serial_opts.progress = false;
+  SweepOptions parallel_opts;
+  parallel_opts.jobs = 4;
+  parallel_opts.progress = false;
+
+  const SweepReport serial = SweepRunner(serial_opts).run(lib(), tiny_grid());
+  const SweepReport parallel = SweepRunner(parallel_opts).run(lib(), tiny_grid());
+
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  EXPECT_EQ(serial.jobs, 1);
+  EXPECT_EQ(parallel.jobs, 4);
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    const FlowResult& a = serial.cells[i].result;
+    const FlowResult& b = parallel.cells[i].result;
+    SCOPED_TRACE(serial.cells[i].job.label);
+    EXPECT_EQ(serial.cells[i].job.label, parallel.cells[i].job.label);
+    EXPECT_EQ(a.num_test_points, b.num_test_points);
+    EXPECT_EQ(a.num_ffs, b.num_ffs);
+    EXPECT_EQ(a.num_chains, b.num_chains);
+    EXPECT_EQ(a.num_faults, b.num_faults);
+    EXPECT_EQ(a.saf_patterns, b.saf_patterns);
+    EXPECT_EQ(a.tdv_bits, b.tdv_bits);
+    EXPECT_EQ(a.num_cells, b.num_cells);
+    EXPECT_DOUBLE_EQ(a.fault_coverage_pct, b.fault_coverage_pct);
+    EXPECT_DOUBLE_EQ(a.scan_wire_length_um, b.scan_wire_length_um);
+    EXPECT_DOUBLE_EQ(a.wire_length_um, b.wire_length_um);
+    EXPECT_DOUBLE_EQ(a.chip_area_um2, b.chip_area_um2);
+    EXPECT_DOUBLE_EQ(a.core_area_um2, b.core_area_um2);
+    EXPECT_DOUBLE_EQ(a.sta.worst.t_cp_ps, b.sta.worst.t_cp_ps);
+  }
+}
+
+TEST(SweepRunnerTest, ReportAggregatesStageTotals) {
+  SweepOptions opts;
+  opts.jobs = 2;
+  opts.progress = false;
+  const SweepReport report = SweepRunner(opts).run(lib(), tiny_grid());
+
+  EXPECT_GT(report.wall_ms, 0.0);
+  EXPECT_GE(report.cpu_ms, report.wall_ms * 0.5);  // sanity, not a perf claim
+  double sum = 0.0;
+  for (const double ms : report.stage_total_ms) sum += ms;
+  EXPECT_GT(sum, 0.0);
+  // Stage totals are the sum of the per-cell stage timings.
+  double cell_sum = 0.0;
+  for (const auto& cell : report.cells) cell_sum += cell.result.timings.total_ms();
+  EXPECT_NEAR(sum, cell_sum, 1e-6);
+}
+
+TEST(SweepRunnerTest, JsonReportContainsCellsAndStageTotals) {
+  SweepOptions opts;
+  opts.jobs = 1;
+  opts.progress = false;
+  FlowOptions base;
+  const auto jobs =
+      SweepRunner::grid({test::tiny_profile(33)}, {2.0}, base,
+                        StageMask::all().without(Stage::kReorderAtpg));
+  const SweepReport report = SweepRunner(opts).run(lib(), jobs);
+  const std::string json = report.to_json();
+
+  EXPECT_NE(json.find("\"context\""), std::string::npos);
+  EXPECT_NE(json.find("\"benchmarks\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"tiny/tp=2\""), std::string::npos);
+  EXPECT_NE(json.find("\"real_time\""), std::string::npos);
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  for (const Stage s : kAllStages) {
+    EXPECT_NE(json.find(std::string("\"stage_totals/") + stage_name(s) + "\""),
+              std::string::npos)
+        << stage_name(s);
+  }
+}
+
+TEST(SweepRunnerTest, HonoursPerJobStageMask) {
+  SweepOptions opts;
+  opts.jobs = 2;
+  opts.progress = false;
+  FlowOptions base;
+  auto jobs = SweepRunner::grid({test::tiny_profile(34)}, {0.0, 2.0}, base,
+                                StageMask::all().without(Stage::kSta).without(
+                                    Stage::kExtract));
+  const SweepReport report = SweepRunner(opts).run(lib(), std::move(jobs));
+  for (const auto& cell : report.cells) {
+    EXPECT_FALSE(cell.result.sta.worst.valid) << cell.job.label;
+    EXPECT_FALSE(cell.result.timings.stage_ran(Stage::kSta));
+    EXPECT_TRUE(cell.result.timings.stage_ran(Stage::kEco));
+    EXPECT_GT(cell.result.saf_patterns, 0) << cell.job.label;
+  }
+  EXPECT_DOUBLE_EQ(report.stage_total_ms[static_cast<int>(Stage::kSta)], 0.0);
+}
+
+}  // namespace
+}  // namespace tpi
