@@ -8,6 +8,10 @@
 //                     (default 1.0 = paper-sized; use e.g. 0.2 for smoke runs)
 //   TPI_BENCH_JOBS    worker threads for the sweep grid
 //                     (default: hardware concurrency; 1 = serial)
+//   TPI_ATPG_JOBS     fault-simulation worker threads inside each cell's
+//                     ATPG stage (default 1: the grid already runs cells in
+//                     parallel; raise it for single-circuit runs). Results
+//                     are bit-identical at any value.
 //   TPI_BENCH_JSON    path to write the aggregate per-stage timing report
 //                     (google-benchmark-style JSON; default: not written)
 //   TPI_BENCH_VERBOSE set to any value for progress logging on stderr
@@ -51,6 +55,12 @@ inline int bench_jobs() {
   return static_cast<int>(env_positive_double(
       "TPI_BENCH_JOBS", static_cast<double>(ThreadPool::default_concurrency())));
 }
+
+/// Fault-sim workers inside each ATPG stage: TPI_ATPG_JOBS, default 1
+/// (serial — the sweep grid parallelises across cells; inner-loop threads
+/// pay off when a single large circuit dominates). AtpgResult is
+/// bit-identical at any value.
+inline int atpg_jobs() { return static_cast<int>(env_positive_double("TPI_ATPG_JOBS", 1.0)); }
 
 inline void setup_logging() {
   set_log_level(std::getenv("TPI_BENCH_VERBOSE") != nullptr ? LogLevel::kInfo
@@ -103,6 +113,7 @@ inline std::vector<SweepResult> run_grid(bool with_atpg, bool with_sta,
   FlowOptions base;
   base.run_atpg = with_atpg;
   base.run_sta = with_sta;
+  base.atpg.jobs = atpg_jobs();
   const std::vector<CircuitProfile> profiles = bench_profiles();
   SweepReport report =
       run_jobs(SweepRunner::grid(profiles, tp_percentages(), base, stage_mask_from(base)));
@@ -129,6 +140,7 @@ inline SweepResult run_sweep(const CircuitProfile& profile, bool with_atpg,
   FlowOptions base;
   base.run_atpg = with_atpg;
   base.run_sta = with_sta;
+  base.atpg.jobs = atpg_jobs();
   const SweepReport report =
       run_jobs(SweepRunner::grid({profile}, percentages, base, stage_mask_from(base)));
   SweepResult out;

@@ -91,6 +91,51 @@ void BM_FaultSimulationBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_FaultSimulationBatch)->Unit(benchmark::kMicrosecond);
 
+// The ATPG inner loop proper: grade the whole live fault list against one
+// 64-pattern batch through FaultSimBank. Arg = fault-sim worker threads
+// (results are bit-identical across args; only the wall clock moves).
+void BM_FaultGradeLive(benchmark::State& state) {
+  const CombModel model(scan_netlist(), SeqView::kCapture);
+  FaultSimBank bank(model, static_cast<int>(state.range(0)));
+  FaultList fl = build_fault_list(model);
+  std::vector<Fault*> live;
+  for (Fault& f : fl.faults) {
+    if (f.status != FaultStatus::kScanTested) live.push_back(&f);
+  }
+  Rng rng(2);
+  std::vector<Word> words(model.input_nets().size());
+  for (auto& w : words) w = rng.next_u64();
+  bank.load_batch(words);
+  std::vector<Word> detect;
+  for (auto _ : state) {
+    bank.grade(live, detect);
+    benchmark::DoNotOptimize(detect.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(live.size()));
+  state.counters["live_faults"] = static_cast<double>(live.size());
+  const FaultSimStats s = bank.take_stats();
+  state.counters["cone_skip_pct"] =
+      s.faults_graded > 0 ? 100.0 * static_cast<double>(s.cone_skips) /
+                                static_cast<double>(s.faults_graded)
+                          : 0.0;
+}
+BENCHMARK(BM_FaultGradeLive)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Whole ATPG stage (all three phases) on the largest generated profile the
+// microbench uses — the single-circuit wall clock the sweep cannot hide.
+// Arg = AtpgOptions::jobs.
+void BM_AtpgStage(benchmark::State& state) {
+  const CombModel model(scan_netlist(), SeqView::kCapture);
+  const TestabilityResult t = analyze_testability(model);
+  AtpgOptions opts;
+  opts.jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const AtpgResult r = run_atpg(model, t, opts);
+    benchmark::DoNotOptimize(r.detected);
+  }
+}
+BENCHMARK(BM_AtpgStage)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
 void BM_PodemPerFault(benchmark::State& state) {
   const CombModel model(scan_netlist(), SeqView::kCapture);
   const TestabilityResult t = analyze_testability(model);

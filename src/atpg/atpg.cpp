@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "atpg/fault_sim.hpp"
 #include "util/log.hpp"
@@ -9,6 +10,12 @@
 
 namespace tpi {
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
 
 // Pack up to 64 patterns (one per bit) into per-input words.
 void pack_batch(const std::vector<const TestPattern*>& batch, std::size_t num_inputs,
@@ -22,15 +29,18 @@ void pack_batch(const std::vector<const TestPattern*>& batch, std::size_t num_in
   }
 }
 
-std::vector<Fault*> live_faults(FaultList& list) {
-  std::vector<Fault*> out;
-  out.reserve(list.faults.size());
+// Live = could still be detected by a pattern: everything but kDetected and
+// kScanTested (kRedundant/kAborted stay eligible — simulation evidence of
+// detection overrides them). Built once per phase and maintained
+// incrementally by FaultSimBank::grade_and_drop instead of rescanning the
+// whole fault list every batch.
+void rebuild_live(FaultList& list, std::vector<Fault*>& live) {
+  live.clear();
   for (Fault& f : list.faults) {
     if (f.status != FaultStatus::kDetected && f.status != FaultStatus::kScanTested) {
-      out.push_back(&f);
+      live.push_back(&f);
     }
   }
-  return out;
 }
 
 }  // namespace
@@ -41,38 +51,53 @@ AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability
   res.faults = build_fault_list(model);
   res.total_faults = res.faults.total_uncollapsed;
 
-  FaultSimulator fsim(model);
+  FaultSimBank bank(model, opts.jobs);
+  res.profile.jobs = bank.jobs();
   Podem podem(model, testability, opts.podem);
   Rng rng(opts.seed);
   const std::size_t num_inputs = model.input_nets().size();
 
-  auto simulate_and_drop = [&](const std::vector<const TestPattern*>& batch) {
-    std::vector<Word> words;
-    pack_batch(batch, num_inputs, words);
-    fsim.load_batch(words);
-    auto live = live_faults(res.faults);
-    fsim.drop_detected(live);
+  // Reusable batch scaffolding, hoisted out of the per-batch loops: the
+  // pattern slots (with their bit vectors), the packed input words and the
+  // ref array are allocated once and refilled every batch.
+  std::vector<TestPattern> batch(kWordBits);
+  for (TestPattern& p : batch) p.bits.resize(num_inputs);
+  std::vector<const TestPattern*> refs;
+  refs.reserve(kWordBits);
+  std::vector<Word> words;
+  std::vector<Fault*> live;
+  live.reserve(res.faults.faults.size());
+  rebuild_live(res.faults, live);
+
+  // Simulate batch[0..count) against the live list, drop detected faults
+  // and append the patterns to the result set.
+  auto simulate_and_keep = [&](std::size_t count, AtpgPhaseProfile& phase) {
+    refs.clear();
+    for (std::size_t k = 0; k < count; ++k) refs.push_back(&batch[k]);
+    pack_batch(refs, num_inputs, words);
+    bank.load_batch(words);
+    const FaultSimBank::DropOutcome out = bank.grade_and_drop(live);
+    ++phase.batches;
+    for (std::size_t k = 0; k < count; ++k) res.patterns.push_back(batch[k]);
+    return out;
   };
 
   // ---- phase 1: pseudo-random warm-up ----
+  const auto t_random = Clock::now();
   for (int b = 0; b < opts.random_batches; ++b) {
-    std::vector<TestPattern> batch(kWordBits);
-    for (auto& p : batch) {
-      p.bits.resize(num_inputs);
+    for (TestPattern& p : batch) {
       for (auto& bit : p.bits) bit = static_cast<std::uint8_t>(rng.next_bool() ? 1 : 0);
     }
-    const std::int64_t before = res.faults.count_equiv(FaultStatus::kUndetected);
-    std::vector<const TestPattern*> refs;
-    for (const auto& p : batch) refs.push_back(&p);
-    simulate_and_drop(refs);
-    const std::int64_t after = res.faults.count_equiv(FaultStatus::kUndetected);
-    for (auto& p : batch) res.patterns.push_back(std::move(p));
-    if (before - after < opts.random_min_yield) break;
+    const FaultSimBank::DropOutcome out = simulate_and_keep(kWordBits, res.profile.random);
+    if (out.equiv_dropped < opts.random_min_yield) break;
   }
+  res.profile.random.add(bank.take_stats());
+  res.profile.random.wall_ms = ms_since(t_random);
 
   // ---- phase 2: deterministic PODEM with dynamic compaction ----
   // Targets ordered hardest-first (lowest COP detection probability): hard
   // faults anchor patterns whose random fill then sweeps up easy faults.
+  const auto t_podem = Clock::now();
   std::vector<std::size_t> order;
   for (std::size_t i = 0; i < res.faults.faults.size(); ++i) {
     if (res.faults.faults[i].status == FaultStatus::kUndetected) order.push_back(i);
@@ -90,8 +115,8 @@ AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability
   std::size_t pos = 0;
   while (pos < order.size() &&
          static_cast<int>(res.patterns.size()) < opts.max_patterns) {
-    std::vector<TestPattern> batch;
-    while (batch.size() < kWordBits && pos < order.size()) {
+    std::size_t batch_n = 0;
+    while (batch_n < kWordBits && pos < order.size()) {
       Fault& f = res.faults.faults[order[pos++]];
       if (f.status != FaultStatus::kUndetected) continue;
       ++res.podem_calls;
@@ -105,52 +130,60 @@ AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability
         ++res.podem_aborts;
         continue;
       }
-      TestPattern p;
-      p.bits.resize(num_inputs);
+      TestPattern& p = batch[batch_n++];
       for (std::size_t i = 0; i < num_inputs; ++i) {
         const Tern t = pr.cube[i];
         p.bits[i] = t == Tern::kX ? static_cast<std::uint8_t>(rng.next_bool() ? 1 : 0)
                                   : static_cast<std::uint8_t>(t == Tern::k1 ? 1 : 0);
       }
-      batch.push_back(std::move(p));
     }
-    if (batch.empty()) continue;
-    std::vector<const TestPattern*> refs;
-    for (const auto& p : batch) refs.push_back(&p);
-    simulate_and_drop(refs);
-    for (auto& p : batch) res.patterns.push_back(std::move(p));
+    if (batch_n == 0) continue;
+    simulate_and_keep(batch_n, res.profile.podem);
   }
   res.patterns_before_compaction = static_cast<int>(res.patterns.size());
+  res.profile.podem.add(bank.take_stats());
+  res.profile.podem.wall_ms = ms_since(t_podem);
 
   // ---- phase 3: reverse-order static compaction ----
   if (opts.static_compaction && !res.patterns.empty()) {
+    const auto t_compact = Clock::now();
     for (Fault& f : res.faults.faults) {
       if (f.status == FaultStatus::kDetected) f.status = FaultStatus::kUndetected;
     }
+    rebuild_live(res.faults, live);
     std::vector<char> keep(res.patterns.size(), 0);
+    std::vector<std::size_t> ids;
+    ids.reserve(kWordBits);
+    std::vector<Word> detect;
     const std::size_t n = res.patterns.size();
     std::size_t processed = 0;
     while (processed < n) {
       const std::size_t count = std::min<std::size_t>(kWordBits, n - processed);
       // Bit k of the batch = pattern (n-1-processed-k): reverse order.
-      std::vector<const TestPattern*> refs;
-      std::vector<std::size_t> ids;
+      refs.clear();
+      ids.clear();
       for (std::size_t k = 0; k < count; ++k) {
         const std::size_t idx = n - 1 - processed - k;
         refs.push_back(&res.patterns[idx]);
         ids.push_back(idx);
       }
-      std::vector<Word> words;
       pack_batch(refs, num_inputs, words);
-      fsim.load_batch(words);
-      for (Fault& f : res.faults.faults) {
-        if (f.status == FaultStatus::kDetected || f.status == FaultStatus::kScanTested) continue;
-        const Word d = fsim.detects(f);
-        if (d == 0) continue;
-        f.status = FaultStatus::kDetected;
-        const int first = std::countr_zero(d);
-        keep[ids[static_cast<std::size_t>(first)]] = 1;
+      bank.load_batch(words);
+      bank.grade(live, detect);
+      ++res.profile.compaction.batches;
+      // Merge in fault-list order: a detected fault keeps the first pattern
+      // (in reverse order) that detects it and leaves the live list.
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        const Word d = detect[i];
+        if (d == 0) {
+          live[w++] = live[i];
+          continue;
+        }
+        live[i]->status = FaultStatus::kDetected;
+        keep[ids[static_cast<std::size_t>(first_detecting_pattern(d))]] = 1;
       }
+      live.resize(w);
       processed += count;
     }
     std::vector<TestPattern> kept;
@@ -159,6 +192,8 @@ AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability
       if (keep[i]) kept.push_back(std::move(res.patterns[i]));
     }
     res.patterns = std::move(kept);
+    res.profile.compaction.add(bank.take_stats());
+    res.profile.compaction.wall_ms = ms_since(t_compact);
   }
 
   // ---- metrics ----
@@ -175,6 +210,11 @@ AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability
   log_info() << "ATPG " << model.netlist().name() << ": " << res.patterns.size()
              << " patterns (" << res.patterns_before_compaction << " pre-compaction), FC="
              << res.fault_coverage_pct << "% FE=" << res.fault_efficiency_pct << "%";
+  const AtpgPhaseProfile t = res.profile.total();
+  log_info() << "ATPG kernel " << model.netlist().name() << ": jobs=" << res.profile.jobs
+             << " batches=" << t.batches << " graded=" << t.faults_graded
+             << " cone_skips=" << t.cone_skips << " node_evals=" << t.node_evals
+             << " sim_wall=" << t.wall_ms << "ms";
   return res;
 }
 

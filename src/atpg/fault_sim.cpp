@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <future>
+
+#include "util/thread_pool.hpp"
 
 namespace tpi {
 
@@ -18,21 +21,40 @@ void FaultSimulator::load_batch(const std::vector<Word>& input_words) {
   good_.run();
 }
 
+void FaultSimulator::copy_good_from(const FaultSimulator& other) {
+  assert(model_ == other.model_);
+  good_.assign_values(other.good_.values());
+}
+
 void FaultSimulator::schedule(int node_index) {
   const auto i = static_cast<std::size_t>(node_index);
   if (queued_[i] == epoch_) return;
   queued_[i] = epoch_;
+  ++stats_.events;
   heap_.push_back(node_index);
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
 }
 
 void FaultSimulator::schedule_readers(NetId net, int skip_node) {
   for (const int reader : model_->readers_of(net)) {
-    if (reader != skip_node) schedule(reader);
+    if (reader == skip_node) continue;
+    // Cone limit: never propagate into logic no observe point can see (a
+    // reader's output outside every observe cone implies its whole fanout
+    // cone is outside too, so the cut is complete, not just a heuristic).
+    const NetId out = model_->nodes()[static_cast<std::size_t>(reader)].out;
+    if (out != kNoNet && !model_->net_reaches_observe(out)) continue;
+    schedule(reader);
   }
 }
 
 Word FaultSimulator::detects(const Fault& fault) {
+  ++stats_.faults_graded;
+  // Cone limit: a fault whose site reaches no observe net is undetectable
+  // by any pattern of any batch.
+  if (!model_->net_reaches_observe(fault.net)) {
+    ++stats_.cone_skips;
+    return 0;
+  }
   ++epoch_;
   heap_.clear();
   Word detect = 0;
@@ -69,12 +91,18 @@ Word FaultSimulator::detects(const Fault& fault) {
     }
     // Evaluate the branch reader with the forced input value.
     const CombNode& node = model_->nodes()[static_cast<std::size_t>(branch_reader)];
+    if (node.out != kNoNet && !model_->net_reaches_observe(node.out)) {
+      // The branch cone is dead even though the stem has live siblings.
+      ++stats_.cone_skips;
+      return 0;
+    }
     Word in[4];
     for (int i = 0; i < node.num_inputs; ++i) {
       in[i] = node.in[i] == fault.net ? stuck : good_.value(node.in[i]);
     }
     Word sel = 0;
     if (node.sel != kNoNet) sel = node.sel == fault.net ? stuck : good_.value(node.sel);
+    ++stats_.node_evals;
     const Word out = eval_node_word(node, in, sel);
     if (node.out == kNoNet || out == good_.value(node.out)) return 0;
     set_faulty(node.out, out);
@@ -100,6 +128,7 @@ Word FaultSimulator::detects(const Fault& fault) {
     if (node.sel != kNoNet) {
       sel = (inject_here && node.sel == fault.net) ? stuck_w : faulty_value(node.sel);
     }
+    ++stats_.node_evals;
     const Word out = eval_node_word(node, in, sel);
     if (out == faulty_value(node.out)) continue;  // no change
     set_faulty(node.out, out);
@@ -119,10 +148,78 @@ Word FaultSimulator::drop_detected(std::vector<Fault*>& faults) {
     const Word d = detects(*f);
     if (d != 0) {
       f->status = FaultStatus::kDetected;
-      useful |= d & (~d + 1);  // credit the first detecting pattern
+      useful |= first_detecting_bit(d);  // credit the first detecting pattern
     }
   }
   return useful;
+}
+
+FaultSimBank::FaultSimBank(const CombModel& model, int jobs) {
+  unsigned n = jobs <= 0 ? ThreadPool::default_concurrency() : static_cast<unsigned>(jobs);
+  if (n < 1) n = 1;
+  sims_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) sims_.push_back(std::make_unique<FaultSimulator>(model));
+  if (n > 1) pool_ = std::make_unique<ThreadPool>(n);
+}
+
+FaultSimBank::~FaultSimBank() = default;
+
+void FaultSimBank::load_batch(const std::vector<Word>& input_words) {
+  sims_.front()->load_batch(input_words);
+  for (std::size_t i = 1; i < sims_.size(); ++i) sims_[i]->copy_good_from(*sims_.front());
+}
+
+void FaultSimBank::grade(const std::vector<Fault*>& faults, std::vector<Word>& detect) {
+  const std::size_t n = faults.size();
+  detect.resize(n);
+  const std::size_t workers = sims_.size();
+  // Tiny lists are not worth the dispatch; the result is identical either
+  // way (each fault is graded exactly once, output indexed by position).
+  if (pool_ == nullptr || n < static_cast<std::size_t>(kWordBits) * workers) {
+    FaultSimulator& sim = *sims_.front();
+    for (std::size_t i = 0; i < n; ++i) detect[i] = sim.detects(*faults[i]);
+    return;
+  }
+  std::vector<std::future<void>> done;
+  done.reserve(workers);
+  for (std::size_t c = 0; c < workers; ++c) {
+    const std::size_t lo = n * c / workers;
+    const std::size_t hi = n * (c + 1) / workers;
+    if (lo == hi) continue;
+    done.push_back(pool_->submit([this, &faults, &detect, c, lo, hi] {
+      FaultSimulator& sim = *sims_[c];
+      for (std::size_t i = lo; i < hi; ++i) detect[i] = sim.detects(*faults[i]);
+    }));
+  }
+  for (auto& f : done) f.get();
+}
+
+FaultSimBank::DropOutcome FaultSimBank::grade_and_drop(std::vector<Fault*>& live) {
+  grade(live, detect_buf_);
+  DropOutcome out;
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    Fault* f = live[i];
+    const Word d = detect_buf_[i];
+    if (d == 0) {
+      live[w++] = f;
+      continue;
+    }
+    if (f->status == FaultStatus::kUndetected) out.equiv_dropped += f->equiv_count;
+    f->status = FaultStatus::kDetected;
+    out.useful |= first_detecting_bit(d);
+  }
+  live.resize(w);
+  return out;
+}
+
+FaultSimStats FaultSimBank::take_stats() {
+  FaultSimStats total;
+  for (auto& sim : sims_) {
+    total += sim->stats();
+    sim->reset_stats();
+  }
+  return total;
 }
 
 }  // namespace tpi

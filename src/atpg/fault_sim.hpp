@@ -2,17 +2,63 @@
 //
 // For each fault the simulator diverges a faulty-value overlay from the
 // good-value state and propagates events in topological order through the
-// fault's output cone only, comparing at observable nets. Combined with
-// fault dropping this is the workhorse of compact ATPG: every generated
-// pattern (with random fill) is graded against all remaining faults.
+// fault's output cone only, comparing at observable nets. Two cone limits
+// keep the hot loop tight: faults whose site cannot reach any observe net
+// (CombModel::net_reaches_observe) are skipped outright, and events are
+// never scheduled into nodes whose output lies outside every observe cone.
+// Combined with fault dropping this is the workhorse of compact ATPG:
+// every generated pattern (with random fill) is graded against all
+// remaining faults.
+//
+// FaultSimBank partitions a fault list across per-worker FaultSimulator
+// instances (shared read-only CombModel, per-worker faulty-value scratch)
+// and merges detection results in fault-list order, so the outcome is
+// bit-identical to the serial path at any worker count.
 #pragma once
 
+#include <bit>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "atpg/fault.hpp"
 #include "sim/parallel_sim.hpp"
 
 namespace tpi {
+
+class ThreadPool;
+
+/// Mask selecting the first (lowest-index) detecting pattern of a batch:
+/// pattern k lives in bit k, so the first detector is the least-significant
+/// set bit. Explicit std::countr_zero replaces the old two's-complement
+/// `d & (~d + 1)` trick (same value, without the implicit encoding
+/// assumption); shared by fault dropping and static compaction.
+inline Word first_detecting_bit(Word detect) {
+  return detect == 0 ? Word{0} : Word{1} << std::countr_zero(detect);
+}
+
+/// Index of the first detecting pattern, -1 when no pattern detects.
+inline int first_detecting_pattern(Word detect) {
+  return detect == 0 ? -1 : std::countr_zero(detect);
+}
+
+/// Event counters accumulated by detects(); the ATPG kernel profile sums
+/// them per phase. Totals are independent of the worker count because each
+/// fault is graded exactly once.
+struct FaultSimStats {
+  std::uint64_t faults_graded = 0;  ///< detects() calls
+  std::uint64_t cone_skips = 0;     ///< faults cut by the observability mask
+  std::uint64_t node_evals = 0;     ///< nodes evaluated during propagation
+  std::uint64_t events = 0;         ///< scheduler pushes accepted
+
+  FaultSimStats& operator+=(const FaultSimStats& o) {
+    faults_graded += o.faults_graded;
+    cone_skips += o.cone_skips;
+    node_evals += o.node_evals;
+    events += o.events;
+    return *this;
+  }
+};
 
 class FaultSimulator {
  public:
@@ -21,6 +67,10 @@ class FaultSimulator {
   /// Load the good-circuit state for a batch of 64 patterns (words aligned
   /// with model.input_nets()) and evaluate it.
   void load_batch(const std::vector<Word>& input_words);
+
+  /// Adopt another simulator's good-circuit state (same model, same batch)
+  /// without re-evaluating it — the parallel bank loads the batch once.
+  void copy_good_from(const FaultSimulator& other);
 
   /// Word with bit k set iff pattern k of the current batch detects the
   /// fault (observable difference at a PO or pseudo-PO).
@@ -32,6 +82,9 @@ class FaultSimulator {
   Word drop_detected(std::vector<Fault*>& faults);
 
   const ParallelSim& good() const { return good_; }
+
+  const FaultSimStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
 
  private:
   Word faulty_value(NetId net) const {
@@ -54,6 +107,54 @@ class FaultSimulator {
   std::vector<int> heap_;  ///< min-heap of pending node indices (topo order)
   std::vector<std::uint32_t> queued_;  ///< epoch stamp: node already queued
   std::vector<char> observed_;         ///< per net: is an observe net
+  FaultSimStats stats_;
+};
+
+/// Deterministic parallel fault grading: the live fault list is split into
+/// one contiguous chunk per worker (chunk boundaries depend only on the
+/// list length and the worker count, never on scheduling), each worker
+/// grades its chunk on its own FaultSimulator, and the caller-visible merge
+/// happens on the calling thread in fault-list order. Result: bit-identical
+/// to the serial path for any `jobs`.
+class FaultSimBank {
+ public:
+  /// jobs = 1 is serial (no pool); jobs <= 0 selects
+  /// ThreadPool::default_concurrency().
+  explicit FaultSimBank(const CombModel& model, int jobs = 1);
+  ~FaultSimBank();
+
+  FaultSimBank(const FaultSimBank&) = delete;
+  FaultSimBank& operator=(const FaultSimBank&) = delete;
+
+  int jobs() const { return static_cast<int>(sims_.size()); }
+
+  /// Worker 0's simulator (serial helpers, tests).
+  FaultSimulator& primary() { return *sims_.front(); }
+
+  /// Load + evaluate the batch once, then copy the good state to every
+  /// worker.
+  void load_batch(const std::vector<Word>& input_words);
+
+  /// detects() for every fault: detect[i] = detects(*faults[i]).
+  void grade(const std::vector<Fault*>& faults, std::vector<Word>& detect);
+
+  struct DropOutcome {
+    Word useful = 0;  ///< bit k set iff pattern k first-detected some fault
+    std::int64_t equiv_dropped = 0;  ///< equiv count of ex-kUndetected drops
+  };
+
+  /// Grade `live`, mark detected faults kDetected and remove them from
+  /// `live` (order preserved). Faults in other live states (kRedundant,
+  /// kAborted) stay eligible: simulation evidence overrides them.
+  DropOutcome grade_and_drop(std::vector<Fault*>& live);
+
+  /// Summed per-worker counters since the last call; resets the workers.
+  FaultSimStats take_stats();
+
+ private:
+  std::vector<std::unique_ptr<FaultSimulator>> sims_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when jobs() == 1
+  std::vector<Word> detect_buf_;
 };
 
 }  // namespace tpi

@@ -219,6 +219,13 @@ void FlowEngine::do_reorder_atpg() {
   AtpgOptions atpg_opts = opts_.atpg;
   atpg_opts.seed ^= profile_.seed;
   res_.atpg = run_atpg(capture, testab, atpg_opts);
+  // The fault-sim kernel profile (per-phase wall clock + event counts,
+  // AtpgResult::profile) rides inside res_.atpg, so FlowObserver callbacks
+  // and the sweep JSON report see it through StageEvent::result.
+  const AtpgPhaseProfile kernel = res_.atpg.profile.total();
+  log_info() << res_.circuit << " reorder_atpg: fault-sim jobs=" << res_.atpg.profile.jobs
+             << " sim_wall=" << kernel.wall_ms << "ms graded=" << kernel.faults_graded
+             << " cone_skips=" << kernel.cone_skips;
   res_.num_faults = res_.atpg.total_faults;
   res_.fault_coverage_pct = res_.atpg.fault_coverage_pct;
   res_.fault_efficiency_pct = res_.atpg.fault_efficiency_pct;

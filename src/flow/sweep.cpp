@@ -48,6 +48,23 @@ std::string stages_json(const StageTimings& t) {
   return out + "}";
 }
 
+// Fault-sim kernel profile of the cell's ATPG run: per-phase wall clock
+// plus the (job-count-independent) event counters.
+std::string atpg_profile_json(const AtpgKernelProfile& p) {
+  const AtpgPhaseProfile t = p.total();
+  std::string out = "{";
+  out += "\"jobs\": " + std::to_string(p.jobs) + ", ";
+  out += "\"random_ms\": " + fmt_double(p.random.wall_ms) + ", ";
+  out += "\"podem_ms\": " + fmt_double(p.podem.wall_ms) + ", ";
+  out += "\"compaction_ms\": " + fmt_double(p.compaction.wall_ms) + ", ";
+  out += "\"batches\": " + std::to_string(t.batches) + ", ";
+  out += "\"faults_graded\": " + std::to_string(t.faults_graded) + ", ";
+  out += "\"cone_skips\": " + std::to_string(t.cone_skips) + ", ";
+  out += "\"node_evals\": " + std::to_string(t.node_evals) + ", ";
+  out += "\"events\": " + std::to_string(t.events) + "}";
+  return out;
+}
+
 }  // namespace
 
 std::string SweepReport::to_json() const {
@@ -74,6 +91,7 @@ std::string SweepReport::to_json() const {
     out += "\"chip_area_um2\": " + fmt_double(r.chip_area_um2) + ", ";
     out += "\"wire_length_um\": " + fmt_double(r.wire_length_um) + ", ";
     out += "\"t_cp_ps\": " + fmt_double(r.sta.worst.valid ? r.sta.worst.t_cp_ps : 0.0) + ", ";
+    out += "\"atpg_kernel\": " + atpg_profile_json(r.atpg.profile) + ", ";
     out += "\"stages\": " + stages_json(r.timings) + "}";
   }
   for (const Stage s : kAllStages) {

@@ -89,6 +89,23 @@ CombModel::CombModel(const Netlist& nl, SeqView view) : nl_(&nl), view_(view) {
       if (inst.output_net() != kNoNet) const1_nets_.push_back(inst.output_net());
     }
   }
+
+  // Backward observability: a net reaches an observe point iff it is one,
+  // or feeds a node whose output does. nodes_ is topologically ordered, so
+  // a single reverse sweep converges.
+  reaches_observe_.assign(nl.num_nets(), 0);
+  for (const NetId n : observe_nets_) reaches_observe_[static_cast<std::size_t>(n)] = 1;
+  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
+    const CombNode& node = *it;
+    if (node.out == kNoNet || !reaches_observe_[static_cast<std::size_t>(node.out)]) continue;
+    for (int i = 0; i < node.num_inputs; ++i) {
+      if (node.in[i] != kNoNet) reaches_observe_[static_cast<std::size_t>(node.in[i])] = 1;
+    }
+    if (node.sel != kNoNet) reaches_observe_[static_cast<std::size_t>(node.sel)] = 1;
+  }
+  for (const char c : reaches_observe_) {
+    num_observable_cone_nets_ += static_cast<std::size_t>(c != 0);
+  }
 }
 
 }  // namespace tpi

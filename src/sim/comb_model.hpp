@@ -61,6 +61,17 @@ class CombModel {
   std::size_t num_nets() const { return nl_->num_nets(); }
   int max_level() const { return max_level_; }
 
+  /// True when a fault effect on `net` can still reach an observe net (a PO
+  /// or pseudo-PO) through the combinational logic. Computed once by a
+  /// backward sweep from observe_nets(); fault simulation uses it to skip
+  /// whole faults in dead cones and to stop propagating events into logic
+  /// that no observe point can see.
+  bool net_reaches_observe(NetId net) const {
+    return reaches_observe_[static_cast<std::size_t>(net)] != 0;
+  }
+  /// Nets with net_reaches_observe() set (diagnostics for the cone mask).
+  std::size_t num_observable_cone_nets() const { return num_observable_cone_nets_; }
+
  private:
   const Netlist* nl_;
   SeqView view_;
@@ -75,6 +86,8 @@ class CombModel {
   std::vector<CellId> boundary_ffs_;
   std::vector<NetId> const0_nets_;
   std::vector<NetId> const1_nets_;
+  std::vector<char> reaches_observe_;
+  std::size_t num_observable_cone_nets_ = 0;
   int max_level_ = 0;
 };
 

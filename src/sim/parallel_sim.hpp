@@ -31,6 +31,11 @@ class ParallelSim {
   /// model.input_nets().
   void load_inputs(const std::vector<Word>& words);
 
+  /// Adopt a full per-net state previously produced by another ParallelSim
+  /// over the same model — parallel fault grading evaluates each batch once
+  /// and copies the good values into the per-worker simulators.
+  void assign_values(const std::vector<Word>& values) { value_ = values; }
+
   /// Evaluate every node in topological order (full sweep).
   void run();
 

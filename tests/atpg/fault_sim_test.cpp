@@ -80,6 +80,70 @@ TEST_F(SmallCombFaultSim, BranchFaultNarrowerThanStem) {
   }
 }
 
+TEST(FaultSimHelpersTest, FirstDetectingBitSelectsLowestSetBit) {
+  EXPECT_EQ(first_detecting_bit(0), Word{0});
+  EXPECT_EQ(first_detecting_pattern(0), -1);
+  EXPECT_EQ(first_detecting_bit(0b1000), Word{0b1000});
+  EXPECT_EQ(first_detecting_pattern(0b1000), 3);
+  EXPECT_EQ(first_detecting_bit(0b1011000), Word{0b0001000});
+  EXPECT_EQ(first_detecting_bit(~Word{0}), Word{1});
+  EXPECT_EQ(first_detecting_pattern(Word{1} << 63), 63);
+  // Matches the old two's-complement trick on every single-credit case.
+  for (const Word d : {Word{0x10}, Word{0xF0F0}, Word{1} << 62, Word{3}}) {
+    EXPECT_EQ(first_detecting_bit(d), d & (~d + 1));
+  }
+}
+
+TEST_F(SmallCombFaultSim, EveryNetReachesAnObservePoint) {
+  // In the small comb circuit all nets feed po_z or po_w.
+  for (std::size_t n = 0; n < nl_->num_nets(); ++n) {
+    EXPECT_TRUE(model_->net_reaches_observe(static_cast<NetId>(n)))
+        << nl_->net(static_cast<NetId>(n)).name;
+  }
+  EXPECT_EQ(model_->num_observable_cone_nets(), nl_->num_nets());
+}
+
+TEST(FaultSimConeTest, DeadConeFaultIsSkippedNotSimulated) {
+  // Add a gate whose output drives nothing: its cone holds no observe
+  // point, so faults there must be cut by the cone mask, not propagated.
+  auto nl = test::make_small_comb();
+  const CellSpec* and2 = test::lib().gate(CellFunc::kAnd, 2);
+  const CellId dead = nl->add_cell(and2, "dead");
+  nl->connect(dead, 0, nl->find_net("a"));
+  nl->connect(dead, 1, nl->find_net("b"));
+  const NetId dead_out = nl->add_net("dead_out");
+  nl->connect(dead, and2->output_pin, dead_out);
+
+  CombModel model(*nl, SeqView::kCapture);
+  EXPECT_FALSE(model.net_reaches_observe(dead_out));
+  EXPECT_TRUE(model.net_reaches_observe(nl->find_net("a")));
+  EXPECT_EQ(model.num_observable_cone_nets(), nl->num_nets() - 1);
+
+  FaultSimulator fsim(model);
+  std::vector<Word> words(3, 0);
+  words[0] = 0x5555;  // a
+  fsim.load_batch(words);
+  Fault f;
+  f.net = dead_out;
+  EXPECT_EQ(fsim.detects(f), Word{0});
+  EXPECT_EQ(fsim.stats().cone_skips, 1u);
+  EXPECT_EQ(fsim.stats().node_evals, 0u);  // skipped before any propagation
+  EXPECT_EQ(fsim.stats().faults_graded, 1u);
+  fsim.reset_stats();
+  EXPECT_EQ(fsim.stats().faults_graded, 0u);
+}
+
+TEST_F(SmallCombFaultSim, StatsCountGradedFaultsAndEvents) {
+  load_exhaustive();
+  fsim_->detects(stem("y", false));
+  fsim_->detects(stem("a", true));
+  const FaultSimStats& s = fsim_->stats();
+  EXPECT_EQ(s.faults_graded, 2u);
+  EXPECT_EQ(s.cone_skips, 0u);
+  EXPECT_GT(s.node_evals, 0u);
+  EXPECT_GT(s.events, 0u);
+}
+
 TEST_F(SmallCombFaultSim, DropDetectedMarksFaults) {
   load_exhaustive();
   std::vector<Fault> faults{stem("y", false), stem("y", true), stem("w", false)};
