@@ -13,8 +13,12 @@
 //                     parallel; raise it for single-circuit runs). Results
 //                     are bit-identical at any value.
 //   TPI_BENCH_JSON    path to write the aggregate per-stage timing report
-//                     (google-benchmark-style JSON; default: not written)
-//   TPI_BENCH_VERBOSE set to any value for progress logging on stderr
+//                     (google-benchmark-style JSON with a "metrics"
+//                     snapshot; default: not written)
+//   TPI_TRACE         path to write a Chrome trace-event JSON of the run
+//                     (load in chrome://tracing or Perfetto; default: off)
+//   TPI_LOG_LEVEL     debug|info|warn|error|silent (default warn)
+//   TPI_BENCH_VERBOSE legacy alias: set (and TPI_LOG_LEVEL unset) = info
 #pragma once
 
 #include <cstdio>
@@ -30,6 +34,7 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace tpi::bench {
 
@@ -63,8 +68,10 @@ inline int bench_jobs() {
 inline int atpg_jobs() { return static_cast<int>(env_positive_double("TPI_ATPG_JOBS", 1.0)); }
 
 inline void setup_logging() {
-  set_log_level(std::getenv("TPI_BENCH_VERBOSE") != nullptr ? LogLevel::kInfo
-                                                            : LogLevel::kWarn);
+  // TPI_LOG_LEVEL wins; TPI_BENCH_VERBOSE only picks the fallback.
+  set_log_level_from_env(std::getenv("TPI_BENCH_VERBOSE") != nullptr ? LogLevel::kInfo
+                                                                     : LogLevel::kWarn);
+  trace_init_from_env();
 }
 
 /// The paper's sweep: 0%, 1%, ..., 5% test points (§4.1).

@@ -6,7 +6,9 @@
 
 #include "atpg/fault_sim.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace tpi {
 namespace {
@@ -84,12 +86,15 @@ AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability
 
   // ---- phase 1: pseudo-random warm-up ----
   const auto t_random = Clock::now();
-  for (int b = 0; b < opts.random_batches; ++b) {
-    for (TestPattern& p : batch) {
-      for (auto& bit : p.bits) bit = static_cast<std::uint8_t>(rng.next_bool() ? 1 : 0);
+  {
+    TPI_SPAN("atpg.random");
+    for (int b = 0; b < opts.random_batches; ++b) {
+      for (TestPattern& p : batch) {
+        for (auto& bit : p.bits) bit = static_cast<std::uint8_t>(rng.next_bool() ? 1 : 0);
+      }
+      const FaultSimBank::DropOutcome out = simulate_and_keep(kWordBits, res.profile.random);
+      if (out.equiv_dropped < opts.random_min_yield) break;
     }
-    const FaultSimBank::DropOutcome out = simulate_and_keep(kWordBits, res.profile.random);
-    if (out.equiv_dropped < opts.random_min_yield) break;
   }
   res.profile.random.add(bank.take_stats());
   res.profile.random.wall_ms = ms_since(t_random);
@@ -98,47 +103,51 @@ AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability
   // Targets ordered hardest-first (lowest COP detection probability): hard
   // faults anchor patterns whose random fill then sweeps up easy faults.
   const auto t_podem = Clock::now();
-  std::vector<std::size_t> order;
-  for (std::size_t i = 0; i < res.faults.faults.size(); ++i) {
-    if (res.faults.faults[i].status == FaultStatus::kUndetected) order.push_back(i);
-  }
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    const Fault& fa = res.faults.faults[a];
-    const Fault& fb = res.faults.faults[b];
-    const float pa = fa.stuck1 ? testability.detect_prob_sa0(fa.net)
-                               : testability.detect_prob_sa1(fa.net);
-    const float pb = fb.stuck1 ? testability.detect_prob_sa0(fb.net)
-                               : testability.detect_prob_sa1(fb.net);
-    return pa < pb;
-  });
-
-  std::size_t pos = 0;
-  while (pos < order.size() &&
-         static_cast<int>(res.patterns.size()) < opts.max_patterns) {
-    std::size_t batch_n = 0;
-    while (batch_n < kWordBits && pos < order.size()) {
-      Fault& f = res.faults.faults[order[pos++]];
-      if (f.status != FaultStatus::kUndetected) continue;
-      ++res.podem_calls;
-      const PodemResult pr = podem.generate(f);
-      if (pr.outcome == PodemOutcome::kRedundant) {
-        f.status = FaultStatus::kRedundant;
-        continue;
-      }
-      if (pr.outcome == PodemOutcome::kAborted) {
-        f.status = FaultStatus::kAborted;
-        ++res.podem_aborts;
-        continue;
-      }
-      TestPattern& p = batch[batch_n++];
-      for (std::size_t i = 0; i < num_inputs; ++i) {
-        const Tern t = pr.cube[i];
-        p.bits[i] = t == Tern::kX ? static_cast<std::uint8_t>(rng.next_bool() ? 1 : 0)
-                                  : static_cast<std::uint8_t>(t == Tern::k1 ? 1 : 0);
-      }
+  {
+    TPI_SPAN("atpg.podem");
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < res.faults.faults.size(); ++i) {
+      if (res.faults.faults[i].status == FaultStatus::kUndetected) order.push_back(i);
     }
-    if (batch_n == 0) continue;
-    simulate_and_keep(batch_n, res.profile.podem);
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const Fault& fa = res.faults.faults[a];
+      const Fault& fb = res.faults.faults[b];
+      const float pa = fa.stuck1 ? testability.detect_prob_sa0(fa.net)
+                                 : testability.detect_prob_sa1(fa.net);
+      const float pb = fb.stuck1 ? testability.detect_prob_sa0(fb.net)
+                                 : testability.detect_prob_sa1(fb.net);
+      return pa < pb;
+    });
+
+    std::size_t pos = 0;
+    while (pos < order.size() &&
+           static_cast<int>(res.patterns.size()) < opts.max_patterns) {
+      std::size_t batch_n = 0;
+      while (batch_n < kWordBits && pos < order.size()) {
+        Fault& f = res.faults.faults[order[pos++]];
+        if (f.status != FaultStatus::kUndetected) continue;
+        ++res.podem_calls;
+        const PodemResult pr = podem.generate(f);
+        res.podem_backtracks += pr.backtracks;
+        if (pr.outcome == PodemOutcome::kRedundant) {
+          f.status = FaultStatus::kRedundant;
+          continue;
+        }
+        if (pr.outcome == PodemOutcome::kAborted) {
+          f.status = FaultStatus::kAborted;
+          ++res.podem_aborts;
+          continue;
+        }
+        TestPattern& p = batch[batch_n++];
+        for (std::size_t i = 0; i < num_inputs; ++i) {
+          const Tern t = pr.cube[i];
+          p.bits[i] = t == Tern::kX ? static_cast<std::uint8_t>(rng.next_bool() ? 1 : 0)
+                                    : static_cast<std::uint8_t>(t == Tern::k1 ? 1 : 0);
+        }
+      }
+      if (batch_n == 0) continue;
+      simulate_and_keep(batch_n, res.profile.podem);
+    }
   }
   res.patterns_before_compaction = static_cast<int>(res.patterns.size());
   res.profile.podem.add(bank.take_stats());
@@ -146,6 +155,7 @@ AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability
 
   // ---- phase 3: reverse-order static compaction ----
   if (opts.static_compaction && !res.patterns.empty()) {
+    TPI_SPAN("atpg.static_compaction");
     const auto t_compact = Clock::now();
     for (Fault& f : res.faults.faults) {
       if (f.status == FaultStatus::kDetected) f.status = FaultStatus::kUndetected;
@@ -215,6 +225,18 @@ AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability
              << " batches=" << t.batches << " graded=" << t.faults_graded
              << " cone_skips=" << t.cone_skips << " node_evals=" << t.node_evals
              << " sim_wall=" << t.wall_ms << "ms";
+  // Publish the kernel profile to the active registry: same numbers as the
+  // AtpgKernelProfile compat view, all deterministic for any opts.jobs.
+  MetricsRegistry& m = metrics();
+  m.add("atpg.patterns", static_cast<std::uint64_t>(res.num_patterns()));
+  m.add("atpg.podem.calls", static_cast<std::uint64_t>(res.podem_calls));
+  m.add("atpg.podem.aborts", static_cast<std::uint64_t>(res.podem_aborts));
+  m.add("atpg.podem.backtracks", static_cast<std::uint64_t>(res.podem_backtracks));
+  m.add("atpg.sim.batches", t.batches);
+  m.add("atpg.sim.faults_graded", t.faults_graded);
+  m.add("atpg.sim.cone_skips", t.cone_skips);
+  m.add("atpg.sim.node_evals", t.node_evals);
+  m.add("atpg.sim.events", t.events);
   return res;
 }
 

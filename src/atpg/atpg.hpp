@@ -38,6 +38,11 @@ struct AtpgOptions {
 /// phase's wall clock (for the podem phase that includes the PODEM calls
 /// themselves); the event counters cover fault simulation only and are
 /// identical for any AtpgOptions::jobs.
+///
+/// Compat view: run_atpg also publishes these counters to the active
+/// MetricsRegistry (atpg.* names) and wraps each phase in a trace span
+/// ("atpg.random" / "atpg.podem" / "atpg.static_compaction"), so the
+/// unified observability layer and this struct always agree.
 struct AtpgPhaseProfile {
   double wall_ms = 0.0;
   std::uint64_t batches = 0;  ///< 64-pattern batches simulated
@@ -98,6 +103,7 @@ struct AtpgResult {
   int patterns_before_compaction = 0;
   int podem_calls = 0;
   int podem_aborts = 0;
+  std::int64_t podem_backtracks = 0;  ///< summed over all PODEM calls
   AtpgKernelProfile profile;  ///< fault-sim kernel profile (per phase)
 
   int num_patterns() const { return static_cast<int>(patterns.size()); }

@@ -5,6 +5,7 @@
 #include <future>
 
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace tpi {
 
@@ -187,6 +188,7 @@ void FaultSimBank::grade(const std::vector<Fault*>& faults, std::vector<Word>& d
     const std::size_t hi = n * (c + 1) / workers;
     if (lo == hi) continue;
     done.push_back(pool_->submit([this, &faults, &detect, c, lo, hi] {
+      TPI_SPAN("atpg.grade_chunk");
       FaultSimulator& sim = *sims_[c];
       for (std::size_t i = lo; i < hi; ++i) detect[i] = sim.detects(*faults[i]);
     }));

@@ -7,6 +7,7 @@
 #include "layout/placement.hpp"
 #include "sim/comb_model.hpp"
 #include "util/log.hpp"
+#include "util/trace.hpp"
 
 namespace tpi {
 namespace {
@@ -120,13 +121,21 @@ bool FlowEngine::run_stage(Stage stage) {
   }
   if (observer_ != nullptr) observer_->on_stage_begin(make_event(stage, 0.0));
   const auto t0 = std::chrono::steady_clock::now();
-  switch (stage) {
-    case Stage::kTpiScan: do_tpi_scan(); break;
-    case Stage::kFloorplanPlace: do_floorplan_place(); break;
-    case Stage::kReorderAtpg: do_reorder_atpg(); break;
-    case Stage::kEco: do_eco(); break;
-    case Stage::kExtract: do_extract(); break;
-    case Stage::kSta: do_sta(); break;
+  {
+    // Everything a stage records through metrics() lands in this engine's
+    // registry; the stage span nests the kernel spans recorded below it.
+    ScopedMetricsRegistry scoped(metrics_);
+    TPI_SPAN(stage_name(stage));
+    switch (stage) {
+      case Stage::kTpiScan: do_tpi_scan(); break;
+      case Stage::kFloorplanPlace: do_floorplan_place(); break;
+      case Stage::kReorderAtpg: do_reorder_atpg(); break;
+      case Stage::kEco: do_eco(); break;
+      case Stage::kExtract: do_extract(); break;
+      case Stage::kSta: do_sta(); break;
+    }
+    metrics_.add("flow.stages_run");
+    metrics_.set_max("rt.flow.peak_rss_kb", peak_rss_kb());
   }
   const double wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
@@ -134,6 +143,7 @@ bool FlowEngine::run_stage(Stage stage) {
   ran_[idx] = true;
   res_.timings.ran[idx] = true;
   res_.timings.wall_ms[idx] = wall_ms;
+  res_.metrics = metrics_.snapshot();
   if (observer_ != nullptr) observer_->on_stage_end(make_event(stage, wall_ms));
   return true;
 }

@@ -32,6 +32,7 @@
 #include "scan/scan.hpp"
 #include "sta/sta.hpp"
 #include "tpi/tpi.hpp"
+#include "util/metrics.hpp"
 
 namespace tpi {
 
@@ -96,7 +97,8 @@ struct FlowResult {
   AtpgResult atpg;
 
   // ---- instrumentation ----
-  StageTimings timings;  ///< per-stage wall clock for this run
+  StageTimings timings;    ///< per-stage wall clock for this run
+  MetricsSnapshot metrics; ///< registry snapshot after the last stage run
 };
 
 /// Staged driver for the Fig. 2 flow. One engine instance = one flow run
@@ -161,6 +163,9 @@ class FlowEngine {
 
   FlowResult res_;
   std::array<bool, kNumStages> ran_{};
+  /// Per-engine registry: every stage runs under a ScopedMetricsRegistry
+  /// pointing here, so concurrent flows on a sweep pool stay isolated.
+  MetricsRegistry metrics_;
 
   // Inter-stage state.
   ScanOptions scan_opts_;

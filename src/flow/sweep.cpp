@@ -74,7 +74,11 @@ std::string SweepReport::to_json() const {
   out += "    \"wall_ms\": " + fmt_double(wall_ms) + ",\n";
   out += "    \"cpu_ms\": " + fmt_double(cpu_ms) + ",\n";
   out += "    \"speedup\": " + fmt_double(speedup()) + "\n";
-  out += "  },\n  \"benchmarks\": [\n";
+  out += "  },\n";
+  // Deterministic subset only: this line must be bit-identical at any
+  // TPI_BENCH_JOBS / TPI_ATPG_JOBS (the sweep tests diff it verbatim).
+  out += "  \"metrics\": " + metrics.to_json(MetricsSnapshot::kNoRuntime) + ",\n";
+  out += "  \"benchmarks\": [\n";
   bool first = true;
   for (const SweepCellResult& cell : cells) {
     if (!first) out += ",\n";
@@ -188,6 +192,7 @@ SweepReport SweepRunner::run(const CellLibrary& lib, std::vector<SweepJob> jobs)
     for (const Stage s : kAllStages) {
       report.stage_total_ms[static_cast<std::size_t>(s)] += cell.result.timings[s];
     }
+    report.metrics.merge(cell.result.metrics);
   }
   return report;
 }

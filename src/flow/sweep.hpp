@@ -51,6 +51,10 @@ struct SweepReport {
   double wall_ms = 0.0;                ///< sweep wall clock
   double cpu_ms = 0.0;                 ///< sum of per-cell wall clocks
   std::array<double, kNumStages> stage_total_ms{};  ///< per-stage totals
+  /// Per-cell FlowResult metrics merged in submission order. Deterministic
+  /// metrics are bit-identical at any job count; to_json() serialises only
+  /// those (MetricsSnapshot::kNoRuntime).
+  MetricsSnapshot metrics;
 
   /// Parallel speedup actually realised: cpu_ms / wall_ms.
   double speedup() const { return wall_ms > 0.0 ? cpu_ms / wall_ms : 1.0; }

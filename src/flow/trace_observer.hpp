@@ -1,0 +1,33 @@
+// FlowObserver that feeds the unified observability layer: an instant
+// trace marker per stage boundary plus debug-level progress logging, and
+// running begin/end counters tests can assert on. The reference
+// implementation of the FlowObserver hook — attach one with
+// FlowEngine::set_observer (or share one across a SweepRunner; all state
+// is atomic, so concurrent flows may report through the same instance).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "flow/stage.hpp"
+
+namespace tpi {
+
+class TracingFlowObserver : public FlowObserver {
+ public:
+  void on_stage_begin(const StageEvent& event) override;
+  void on_stage_end(const StageEvent& event) override;
+
+  std::uint64_t stages_begun() const {
+    return begun_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t stages_ended() const {
+    return ended_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> begun_{0};
+  std::atomic<std::uint64_t> ended_{0};
+};
+
+}  // namespace tpi

@@ -4,7 +4,10 @@
 #include <cassert>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace tpi {
 namespace {
@@ -146,6 +149,10 @@ Placement place(const Netlist& nl, const Floorplan& fp, const PlacementOptions& 
   std::vector<Point> next(n_cells);
   std::vector<double> weight(n_cells);
   std::vector<std::size_t> rank(movable.size());
+  // Sequential phase spans: TraceSpan is scope-bound, so the optional lets
+  // the global/legalise phases share straight-line code without nesting.
+  std::optional<TraceSpan> phase_span;
+  phase_span.emplace("placement.global");
   for (int iter = 0; iter < opts.global_iterations; ++iter) {
     // Net centroids (pads included: they anchor the placement to the ring).
     for (std::size_t n = 0; n < nl.num_nets(); ++n) {
@@ -216,7 +223,12 @@ Placement place(const Netlist& nl, const Floorplan& fp, const PlacementOptions& 
     }
   }
 
+  phase_span.reset();
+  metrics().add("placement.global_iterations",
+                static_cast<std::uint64_t>(opts.global_iterations));
+
   // ---- legalisation: assign rows by y with balanced fill ----
+  phase_span.emplace("placement.legalize");
   std::vector<CellId> by_y = movable;
   std::stable_sort(by_y.begin(), by_y.end(), [&](CellId a, CellId b) {
     return pl.pos[static_cast<std::size_t>(a)].y < pl.pos[static_cast<std::size_t>(b)].y;

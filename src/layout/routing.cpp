@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace tpi {
 namespace {
 
@@ -95,6 +98,7 @@ void walk_l_route(const Grid& g, const Point& a, const Point& b, F&& f) {
 
 RoutingResult route(const Netlist& nl, const Floorplan& fp, const Placement& pl,
                     const RoutingOptions& opts) {
+  TPI_SPAN("routing.route");
   RoutingResult res;
   res.nets.resize(nl.num_nets());
 
@@ -151,6 +155,15 @@ RoutingResult route(const Netlist& nl, const Floorplan& fp, const Placement& pl,
     res.overflowed_crossings += overflows;
     res.total_wire_length_um += tree.length_um;
   }
+  // Histogram accumulated locally and folded in once: nl.num_nets() can be
+  // tens of thousands, one registry lock per net would dominate.
+  HistogramData net_lengths;
+  for (const RouteTree& tree : res.nets) net_lengths.observe(tree.length_um);
+  MetricsRegistry& m = metrics();
+  m.add("routing.nets", nl.num_nets());
+  m.add("routing.overflowed_crossings",
+        static_cast<std::uint64_t>(res.overflowed_crossings));
+  m.record_histogram("routing.net_length_um", net_lengths);
   return res;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/metrics.hpp"
+
 namespace tpi {
 
 Word eval_node_word(const CombNode& node, const Word* in, Word sel) {
@@ -61,6 +63,11 @@ void ParallelSim::run() {
       value_[static_cast<std::size_t>(node.out)] = eval_node_word(node, in, sel);
     }
   }
+  // One registry touch per full sweep, not per node: good-value simulation
+  // runs once per 64-pattern batch, so this stays off the hot path.
+  MetricsRegistry& m = metrics();
+  m.add("sim.good_sweeps");
+  m.add("sim.good_node_evals", model_->nodes().size());
 }
 
 void ParallelSim::read_observes(std::vector<Word>& out) const {

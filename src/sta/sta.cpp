@@ -6,6 +6,9 @@
 #include <limits>
 #include <queue>
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace tpi {
 namespace {
 
@@ -308,8 +311,14 @@ class StaEngine {
 
 StaResult run_sta(const Netlist& nl, const ExtractionResult& parasitics,
                   const StaOptions& opts) {
+  TPI_SPAN("sta.run");
   StaEngine engine(nl, parasitics, opts);
-  return engine.run();
+  StaResult res = engine.run();
+  MetricsRegistry& m = metrics();
+  m.add("sta.runs");
+  m.add("sta.domains", res.per_domain.size());
+  m.add("sta.slow_nodes", static_cast<std::uint64_t>(res.slow_nodes));
+  return res;
 }
 
 }  // namespace tpi

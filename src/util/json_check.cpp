@@ -1,0 +1,180 @@
+#include "util/json_check.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace tpi {
+namespace {
+
+// Recursive-descent validator over a cursor; depth-limited so a hostile
+// input cannot blow the stack.
+struct Checker {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string err;
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const char* what) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "offset %zu: %s", pos, what);
+    err = buf;
+    return false;
+  }
+
+  bool eof() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return fail("invalid literal");
+    pos += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (eof() || peek() != '"') return fail("expected string");
+    ++pos;
+    while (!eof()) {
+      const unsigned char c = static_cast<unsigned char>(text[pos]);
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c < 0x20) return fail("unescaped control character in string");
+      if (c == '\\') {
+        ++pos;
+        if (eof()) return fail("dangling escape");
+        const char e = text[pos];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos;
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(text[pos]))) {
+              return fail("bad \\u escape");
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' && e != 'n' &&
+                   e != 'r' && e != 't') {
+          return fail("bad escape character");
+        }
+      }
+      ++pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = pos;
+    if (!eof() && peek() == '-') ++pos;
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return fail("expected digit");
+    }
+    if (peek() == '0') {
+      ++pos;
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("expected fraction digit");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("expected exponent digit");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    }
+    return pos > start;
+  }
+
+  bool value(int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (eof()) return fail("expected value");
+    switch (peek()) {
+      case '{': return object(depth);
+      case '[': return array(depth);
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object(int depth) {
+    ++pos;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (eof() || peek() != ':') return fail("expected ':'");
+      ++pos;
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (eof()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(int depth) {
+    ++pos;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (eof()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+};
+
+}  // namespace
+
+bool json_well_formed(std::string_view text, std::string* error) {
+  Checker c;
+  c.text = text;
+  bool ok = c.value(0);
+  if (ok) {
+    c.skip_ws();
+    if (!c.eof()) ok = c.fail("trailing characters after value");
+  }
+  if (!ok && error != nullptr) *error = c.err;
+  return ok;
+}
+
+}  // namespace tpi

@@ -1,0 +1,18 @@
+// Minimal JSON syntax checker (no DOM, no allocation proportional to the
+// document): validates that a byte string is one well-formed JSON value.
+// Used by the trace/sweep tests and the trace_smoke ctest target to vet
+// the Chrome-trace and benchmark reports we emit without pulling in a
+// JSON library.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace tpi {
+
+/// True iff `text` is exactly one well-formed JSON value (object, array,
+/// string, number, true/false/null) with only whitespace around it. On
+/// failure, `error` (when non-null) gets a short "offset N: ..." message.
+bool json_well_formed(std::string_view text, std::string* error = nullptr);
+
+}  // namespace tpi

@@ -1,12 +1,16 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 namespace tpi {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// Atomic: benches set the level on the main thread while sweep/fault-sim
+// workers read it (a plain global here was a TSan-reported data race).
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -26,12 +30,47 @@ double elapsed_seconds() {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "silent") return LogLevel::kSilent;
+  return std::nullopt;
+}
+
+LogLevel set_log_level_from_env(LogLevel fallback) {
+  LogLevel level = fallback;
+  if (const char* env = std::getenv("TPI_LOG_LEVEL"); env != nullptr && *env != '\0') {
+    if (const std::optional<LogLevel> parsed = parse_log_level(env)) {
+      level = *parsed;
+    } else {
+      std::fprintf(stderr,
+                   "[log] warning: invalid TPI_LOG_LEVEL=\"%s\" "
+                   "(want debug|info|warn|error|silent)\n",
+                   env);
+    }
+  }
+  set_log_level(level);
+  return level;
+}
 
 void log_line(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[%8.2fs %s] %s\n", elapsed_seconds(), tag(level), msg.c_str());
+  if (level < log_level()) return;
+  // Build the whole line and emit it with a single unbuffered fwrite so
+  // concurrent worker threads cannot interleave fragments mid-line.
+  char prefix[48];
+  const int n = std::snprintf(prefix, sizeof prefix, "[%8.2fs %s] ", elapsed_seconds(),
+                              tag(level));
+  std::string line;
+  line.reserve(static_cast<std::size_t>(n) + msg.size() + 1);
+  line.append(prefix, static_cast<std::size_t>(n));
+  line += msg;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace tpi

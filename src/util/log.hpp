@@ -2,16 +2,28 @@
 // narrate progress without pulling in a logging dependency.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace tpi {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kSilent = 4 };
 
-/// Global minimum level; messages below it are dropped.
+/// Global minimum level; messages below it are dropped. Thread-safe: the
+/// level is atomic and every line is written with one fwrite, so lines
+/// from concurrent workers never interleave mid-line.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// "debug" | "info" | "warn" | "error" | "silent" (case-sensitive).
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// Initialise the global level from the TPI_LOG_LEVEL environment
+/// variable; `fallback` applies when it is unset, and an invalid value
+/// warns on stderr before falling back. Returns the level installed.
+LogLevel set_log_level_from_env(LogLevel fallback = LogLevel::kWarn);
 
 /// Emit one line (with level tag and elapsed wall time) to stderr.
 void log_line(LogLevel level, const std::string& msg);

@@ -1,0 +1,235 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "util/log.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace tpi {
+
+int histogram_bucket(double v) {
+  if (!(v >= 1.0)) return 0;  // also catches NaN
+  const int b = 1 + std::ilogb(v);
+  return b >= kHistogramBuckets ? kHistogramBuckets - 1 : b;
+}
+
+void HistogramData::observe(double v) {
+  if (count == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+  sum += v;
+  ++buckets[static_cast<std::size_t>(histogram_bucket(v))];
+}
+
+void HistogramData::merge(const HistogramData& o) {
+  if (o.count == 0) return;
+  if (count == 0) {
+    min = o.min;
+    max = o.max;
+  } else {
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+  }
+  count += o.count;
+  sum += o.sum;
+  for (int i = 0; i < kHistogramBuckets; ++i) buckets[i] += o.buckets[i];
+}
+
+namespace {
+
+struct MetricState {
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;  // counter
+  double value = 0.0;       // gauge
+  HistogramData hist;
+};
+
+std::string fmt_metric_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  return buf;
+}
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, MetricState, std::less<>> map;
+
+  MetricState* touch(std::string_view name, MetricKind kind) {
+    auto it = map.find(name);
+    if (it == map.end()) {
+      it = map.emplace(std::string(name), MetricState{}).first;
+      it->second.kind = kind;
+    } else if (it->second.kind != kind) {
+      log_warn() << "metrics: " << std::string(name)
+                 << " already registered with a different kind; sample dropped";
+      return nullptr;
+    }
+    return &it->second;
+  }
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(std::make_unique<Impl>()) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (MetricState* m = impl_->touch(name, MetricKind::kCounter)) m->count += delta;
+}
+
+void MetricsRegistry::set(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (MetricState* m = impl_->touch(name, MetricKind::kGauge)) m->value = value;
+}
+
+void MetricsRegistry::set_max(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (MetricState* m = impl_->touch(name, MetricKind::kGauge)) {
+    m->value = std::max(m->value, value);
+  }
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (MetricState* m = impl_->touch(name, MetricKind::kHistogram)) m->hist.observe(value);
+}
+
+void MetricsRegistry::record_histogram(std::string_view name, const HistogramData& data) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (MetricState* m = impl_->touch(name, MetricKind::kHistogram)) m->hist.merge(data);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  snap.metrics.reserve(impl_->map.size());
+  for (const auto& [name, state] : impl_->map) {
+    MetricValue v;
+    v.name = name;
+    v.kind = state.kind;
+    v.count = state.count;
+    v.value = state.value;
+    v.hist = state.hist;
+    snap.metrics.push_back(std::move(v));
+  }
+  return snap;  // map iteration order is sorted by name already
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->map.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* g = new MetricsRegistry;  // never destroyed
+  return *g;
+}
+
+namespace {
+thread_local MetricsRegistry* t_current = nullptr;
+}  // namespace
+
+MetricsRegistry& metrics() {
+  return t_current != nullptr ? *t_current : MetricsRegistry::global();
+}
+
+ScopedMetricsRegistry::ScopedMetricsRegistry(MetricsRegistry& registry)
+    : prev_(t_current) {
+  t_current = &registry;
+}
+
+ScopedMetricsRegistry::~ScopedMetricsRegistry() { t_current = prev_; }
+
+const MetricValue* MetricsSnapshot::find(std::string_view name) const {
+  for (const MetricValue& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const MetricValue& o : other.metrics) {
+    const auto it = std::lower_bound(
+        metrics.begin(), metrics.end(), o,
+        [](const MetricValue& a, const MetricValue& b) { return a.name < b.name; });
+    if (it == metrics.end() || it->name != o.name) {
+      metrics.insert(it, o);
+      continue;
+    }
+    if (it->kind != o.kind) {
+      log_warn() << "metrics: merge kind mismatch on " << o.name << "; entry kept as is";
+      continue;
+    }
+    switch (o.kind) {
+      case MetricKind::kCounter: it->count += o.count; break;
+      case MetricKind::kGauge: it->value = std::max(it->value, o.value); break;
+      case MetricKind::kHistogram: it->hist.merge(o.hist); break;
+    }
+  }
+}
+
+std::string MetricsSnapshot::to_json(Runtime runtime) const {
+  std::string out = "{";
+  bool first = true;
+  for (const MetricValue& m : metrics) {
+    if (runtime == kNoRuntime && is_runtime_metric(m.name)) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + m.name + "\": ";
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += std::to_string(m.count);
+        break;
+      case MetricKind::kGauge:
+        out += fmt_metric_double(m.value);
+        break;
+      case MetricKind::kHistogram: {
+        out += "{\"count\": " + std::to_string(m.hist.count);
+        out += ", \"sum\": " + fmt_metric_double(m.hist.sum);
+        out += ", \"min\": " + fmt_metric_double(m.hist.count > 0 ? m.hist.min : 0.0);
+        out += ", \"max\": " + fmt_metric_double(m.hist.count > 0 ? m.hist.max : 0.0);
+        // Sparse buckets: {"<index>": count} for the non-empty ones only.
+        out += ", \"buckets\": {";
+        bool first_bucket = true;
+        for (int b = 0; b < kHistogramBuckets; ++b) {
+          if (m.hist.buckets[static_cast<std::size_t>(b)] == 0) continue;
+          if (!first_bucket) out += ", ";
+          first_bucket = false;
+          out += "\"" + std::to_string(b) +
+                 "\": " + std::to_string(m.hist.buckets[static_cast<std::size_t>(b)]);
+        }
+        out += "}}";
+        break;
+      }
+    }
+  }
+  return out + "}";
+}
+
+double peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // bytes on macOS
+#else
+  return static_cast<double>(ru.ru_maxrss);  // kilobytes on Linux
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+}  // namespace tpi

@@ -1,5 +1,7 @@
 #include "util/thread_pool.hpp"
 
+#include "util/metrics.hpp"
+
 namespace tpi {
 
 unsigned ThreadPool::default_concurrency() {
@@ -30,8 +32,9 @@ std::size_t ThreadPool::pending() const {
 }
 
 void ThreadPool::worker_loop() {
+  using Clock = std::chrono::steady_clock;
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -39,7 +42,17 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();  // packaged_task captures exceptions into the future
+    const Clock::time_point start = Clock::now();
+    task.fn();  // packaged_task captures exceptions into the future
+    const Clock::time_point done = Clock::now();
+    // Scheduling is nondeterministic by nature, so these are rt.* metrics
+    // in the process-global registry (never in per-flow snapshots).
+    MetricsRegistry& g = MetricsRegistry::global();
+    g.observe("rt.threadpool.queue_wait_us",
+              std::chrono::duration<double, std::micro>(start - task.enqueued).count());
+    g.observe("rt.threadpool.run_ms",
+              std::chrono::duration<double, std::milli>(done - start).count());
+    g.add("rt.threadpool.tasks");
   }
 }
 

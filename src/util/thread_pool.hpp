@@ -4,8 +4,13 @@
 // propagation. Tasks are picked up in submission order; with one worker the
 // pool degrades to deterministic serial execution, which the
 // parallel-vs-serial equivalence tests rely on.
+//
+// Every task's queue wait (submit -> dequeue) and run latency are recorded
+// into MetricsRegistry::global() as the rt.threadpool.* histograms, so the
+// pool is no longer a scheduling black box.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -51,18 +56,23 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit() after shutdown");
-      queue_.push([task] { (*task)(); });
+      queue_.push(Task{[task] { (*task)(); }, std::chrono::steady_clock::now()});
     }
     cv_.notify_one();
     return fut;
   }
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
 };

@@ -1,0 +1,211 @@
+#include "util/trace.hpp"
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace tpi {
+namespace trace_detail {
+
+std::atomic<bool> g_enabled{false};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  std::uint64_t begin_ns;
+  std::uint64_t end_ns;
+};
+
+// Single-writer append log: only the owning thread writes events; readers
+// (export) synchronise through the release-store of `n` / `next`. A chunk
+// is never shrunk or freed while its owner may still append — trace_reset
+// documents the quiescence requirement.
+struct Chunk {
+  static constexpr std::size_t kCapacity = 4096;
+  std::array<TraceEvent, kCapacity> events;
+  std::atomic<std::uint32_t> n{0};
+  std::atomic<Chunk*> next{nullptr};
+};
+
+struct ThreadLog {
+  std::uint32_t tid = 0;
+  Chunk head;
+  Chunk* tail = &head;  ///< owner-thread only
+
+  void append(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns) {
+    Chunk* c = tail;
+    std::uint32_t i = c->n.load(std::memory_order_relaxed);
+    if (i == Chunk::kCapacity) {
+      Chunk* grown = new Chunk;
+      c->next.store(grown, std::memory_order_release);
+      tail = grown;
+      c = grown;
+      i = 0;
+    }
+    c->events[i] = TraceEvent{name, begin_ns, end_ns};
+    c->n.store(i + 1, std::memory_order_release);
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<ThreadLog*> logs;       ///< leaked on purpose: process lifetime
+  std::uint64_t epoch_ns = 0;         ///< ts origin of the JSON export
+  std::string atexit_path;            ///< TPI_TRACE target ("" = none)
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // never destroyed: threads may outlive exit order
+  return *r;
+}
+
+ThreadLog& thread_log() {
+  thread_local ThreadLog* log = nullptr;
+  if (log == nullptr) {
+    log = new ThreadLog;
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    log->tid = static_cast<std::uint32_t>(reg.logs.size() + 1);
+    reg.logs.push_back(log);
+  }
+  return *log;
+}
+
+void append_event_json(std::string& out, const TraceEvent& e, std::uint32_t tid,
+                       std::uint64_t epoch_ns) {
+  char buf[256];
+  const double ts_us = static_cast<double>(e.begin_ns - epoch_ns) / 1000.0;
+  const double dur_us = static_cast<double>(e.end_ns - e.begin_ns) / 1000.0;
+  std::snprintf(buf, sizeof buf,
+                "{\"name\": \"%s\", \"cat\": \"tpi\", \"ph\": \"X\", \"ts\": %.3f, "
+                "\"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+                e.name, ts_us, dur_us, tid);
+  out += buf;
+}
+
+}  // namespace
+
+void record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns) {
+  thread_log().append(name, begin_ns, end_ns);
+}
+
+}  // namespace trace_detail
+
+void set_trace_enabled(bool enabled) {
+  using namespace trace_detail;
+  if (enabled) {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    if (reg.epoch_ns == 0) reg.epoch_ns = now_ns();
+  }
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void trace_instant(const char* name) {
+  if (!trace_enabled()) return;
+  const std::uint64_t t = trace_detail::now_ns();
+  trace_detail::record(name, t, t);
+}
+
+std::size_t trace_event_count() {
+  using namespace trace_detail;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::size_t total = 0;
+  for (const ThreadLog* log : reg.logs) {
+    for (const Chunk* c = &log->head; c != nullptr;
+         c = c->next.load(std::memory_order_acquire)) {
+      total += c->n.load(std::memory_order_acquire);
+    }
+  }
+  return total;
+}
+
+void trace_reset() {
+  using namespace trace_detail;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (ThreadLog* log : reg.logs) {
+    // Free the overflow chunks; the inline head stays (its owner thread
+    // caches `tail`, which we reset through the same quiescence contract).
+    Chunk* c = log->head.next.exchange(nullptr, std::memory_order_acq_rel);
+    while (c != nullptr) {
+      Chunk* next = c->next.load(std::memory_order_acquire);
+      delete c;
+      c = next;
+    }
+    log->tail = &log->head;
+    log->head.n.store(0, std::memory_order_release);
+  }
+}
+
+std::string trace_to_json() {
+  using namespace trace_detail;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  for (const ThreadLog* log : reg.logs) {
+    for (const Chunk* c = &log->head; c != nullptr;
+         c = c->next.load(std::memory_order_acquire)) {
+      const std::uint32_t n = c->n.load(std::memory_order_acquire);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (!first) out += ",\n";
+        first = false;
+        append_event_json(out, c->events[i], log->tid, reg.epoch_ns);
+      }
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool trace_write_json(const std::string& path) {
+  const std::string json = trace_to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    log_warn() << "trace: cannot write " << path;
+    return false;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) log_warn() << "trace: short write to " << path;
+  return ok;
+}
+
+const char* trace_init_from_env() {
+  using namespace trace_detail;
+  const char* path = std::getenv("TPI_TRACE");
+  if (path == nullptr || *path == '\0') return nullptr;
+  Registry& reg = registry();
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    if (!reg.atexit_path.empty()) return reg.atexit_path.c_str();  // already armed
+    reg.atexit_path = path;
+  }
+  set_trace_enabled(true);
+  std::atexit([] {
+    const std::string& p = registry().atexit_path;
+    if (trace_write_json(p)) {
+      std::fprintf(stderr, "[trace] wrote %s (%zu spans)\n", p.c_str(),
+                   trace_event_count());
+    }
+  });
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.atexit_path.c_str();
+}
+
+}  // namespace tpi

@@ -1,0 +1,90 @@
+// Thread-safe, low-overhead hierarchical span tracer.
+//
+// TPI_SPAN("name") opens an RAII span: begin/end timestamps plus the
+// emitting thread land in a per-thread single-writer append log (chunked,
+// lock-free — the writer never takes a lock, publication is a
+// release-store of the chunk fill count). Nesting falls out of scoping:
+// an inner span's interval is contained in the enclosing one, which is
+// exactly how chrome://tracing / Perfetto render stacks of "X" events on
+// one thread track.
+//
+// When tracing is disabled (the default) a span costs one relaxed atomic
+// load and a branch — no clock read, no allocation — so TPI_SPAN can stay
+// in hot paths permanently. Enable with set_trace_enabled(true), or let
+// trace_init_from_env() honour TPI_TRACE=<path> (enables tracing and
+// writes the Chrome trace-event JSON at process exit).
+//
+// Span names must outlive the export (string literals in practice): the
+// log stores the pointer, never a copy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace tpi {
+
+namespace trace_detail {
+
+extern std::atomic<bool> g_enabled;
+
+/// Monotonic timestamp (steady clock) in nanoseconds.
+std::uint64_t now_ns();
+
+/// Append one complete span to the calling thread's log.
+void record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns);
+
+}  // namespace trace_detail
+
+/// Global on/off switch read by every span on construction.
+inline bool trace_enabled() {
+  return trace_detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_trace_enabled(bool enabled);
+
+/// Zero-duration marker event (observer callbacks, phase ticks). No-op
+/// when tracing is disabled.
+void trace_instant(const char* name);
+
+/// Spans recorded so far across all threads (tests, sizing).
+std::size_t trace_event_count();
+
+/// Drop all recorded spans (thread registrations survive). Only call when
+/// no thread is concurrently recording — e.g. after worker pools joined.
+void trace_reset();
+
+/// Chrome trace-event JSON ({"traceEvents": [...]}) of everything
+/// recorded so far; loadable in chrome://tracing and Perfetto.
+std::string trace_to_json();
+
+/// trace_to_json() written to `path`; false + warning on I/O failure.
+bool trace_write_json(const std::string& path);
+
+/// TPI_TRACE=<path>: enable tracing now and write the JSON to <path> at
+/// process exit (idempotent). Returns the path, or nullptr when unset.
+const char* trace_init_from_env();
+
+/// RAII span. Prefer the TPI_SPAN macro; construct directly only when the
+/// name is computed (it must still outlive the export).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(trace_enabled() ? name : nullptr),
+        begin_ns_(name_ != nullptr ? trace_detail::now_ns() : 0) {}
+  ~TraceSpan() {
+    if (name_ != nullptr) trace_detail::record(name_, begin_ns_, trace_detail::now_ns());
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t begin_ns_;
+};
+
+}  // namespace tpi
+
+#define TPI_SPAN_CONCAT2(a, b) a##b
+#define TPI_SPAN_CONCAT(a, b) TPI_SPAN_CONCAT2(a, b)
+/// Open a span covering the rest of the enclosing scope.
+#define TPI_SPAN(name) ::tpi::TraceSpan TPI_SPAN_CONCAT(tpi_span_, __LINE__)(name)

@@ -7,6 +7,7 @@
 #include "../common/test_circuits.hpp"
 #include "circuits/generator.hpp"
 #include "flow/flow.hpp"
+#include "flow/trace_observer.hpp"
 
 namespace tpi {
 namespace {
@@ -135,6 +136,39 @@ TEST(FlowEngineTest, StagesCanBeRunOneAtATime) {
   EXPECT_TRUE(engine.run_stage(Stage::kExtract));
   EXPECT_TRUE(engine.run_stage(Stage::kSta));
   EXPECT_TRUE(engine.result().sta.worst.valid);
+}
+
+TEST(FlowEngineTest, ResultCarriesMetricsSnapshot) {
+  FlowOptions opts;
+  opts.tp_percent = 5.0;
+  FlowEngine engine(lib(), test::tiny_profile(28), opts);
+  const FlowResult& r = engine.run();
+  ASSERT_FALSE(r.metrics.empty());
+  const MetricValue* stages = r.metrics.find("flow.stages_run");
+  ASSERT_NE(stages, nullptr);
+  EXPECT_EQ(stages->count, 6u);
+  for (const char* name : {"atpg.podem.calls", "atpg.sim.faults_graded",
+                           "placement.global_iterations", "routing.nets",
+                           "routing.net_length_um", "sta.runs", "sim.good_sweeps"}) {
+    EXPECT_NE(r.metrics.find(name), nullptr) << name;
+  }
+  // Per-engine isolation: a second engine starts from an empty registry.
+  FlowEngine fresh(lib(), test::tiny_profile(28), opts);
+  fresh.run(StageMask::through(Stage::kTpiScan));
+  const MetricValue* fresh_stages = fresh.result().metrics.find("flow.stages_run");
+  ASSERT_NE(fresh_stages, nullptr);
+  EXPECT_EQ(fresh_stages->count, 1u);
+}
+
+TEST(FlowEngineTest, TracingObserverCountsStageBoundaries) {
+  FlowOptions opts;
+  opts.tp_percent = 2.0;
+  FlowEngine engine(lib(), test::tiny_profile(29), opts);
+  TracingFlowObserver obs;
+  engine.set_observer(&obs);
+  engine.run();
+  EXPECT_EQ(obs.stages_begun(), 6u);
+  EXPECT_EQ(obs.stages_ended(), 6u);
 }
 
 // The legacy wrappers and the staged engine must produce bit-identical

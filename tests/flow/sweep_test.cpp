@@ -76,6 +76,35 @@ TEST(SweepRunnerTest, ParallelMatchesSerialBitExactly) {
   }
 }
 
+// The deterministic metrics snapshot merged into the report must be
+// bit-identical at any job count: exactly what the TPI_BENCH_JSON
+// "metrics" key promises.
+TEST(SweepRunnerTest, MergedMetricsDeterministicAcrossJobCounts) {
+  SweepOptions serial_opts;
+  serial_opts.jobs = 1;
+  serial_opts.progress = false;
+  SweepOptions parallel_opts;
+  parallel_opts.jobs = 4;
+  parallel_opts.progress = false;
+
+  const SweepReport serial = SweepRunner(serial_opts).run(lib(), tiny_grid());
+  const SweepReport parallel = SweepRunner(parallel_opts).run(lib(), tiny_grid());
+
+  const std::string a = serial.metrics.to_json(MetricsSnapshot::kNoRuntime);
+  const std::string b = parallel.metrics.to_json(MetricsSnapshot::kNoRuntime);
+  EXPECT_EQ(a, b);
+  // The merge actually picked up the per-layer counters.
+  for (const char* name :
+       {"atpg.sim.faults_graded", "atpg.podem.calls", "flow.stages_run",
+        "placement.global_iterations", "routing.net_length_um", "sta.runs",
+        "sim.good_sweeps"}) {
+    EXPECT_NE(serial.metrics.find(name), nullptr) << name;
+    EXPECT_NE(a.find(name), std::string::npos) << name;
+  }
+  // Runtime ("rt.*") metrics never leak into the deterministic serialisation.
+  EXPECT_EQ(a.find("\"rt."), std::string::npos);
+}
+
 TEST(SweepRunnerTest, ReportAggregatesStageTotals) {
   SweepOptions opts;
   opts.jobs = 2;

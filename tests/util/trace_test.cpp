@@ -1,0 +1,157 @@
+// Span tracer tests: nesting/ordering of RAII spans, concurrent emission
+// from thread-pool workers (the smoke label runs this binary under TSan),
+// the disabled fast path staying allocation-free, and Chrome trace-event
+// JSON well-formedness.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <future>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "util/json_check.hpp"
+#include "util/thread_pool.hpp"
+#include "util/trace.hpp"
+
+// Global operator new instrumentation for the zero-allocation check. The
+// counter is process-wide, so the test only asserts on the delta across a
+// single-threaded disabled-span loop.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace tpi {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_trace_enabled(false);
+    trace_reset();
+  }
+  void TearDown() override {
+    set_trace_enabled(false);
+    trace_reset();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  {
+    TPI_SPAN("disabled.outer");
+    TPI_SPAN("disabled.inner");
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+  EXPECT_EQ(trace_to_json().find("disabled.outer"), std::string::npos);
+}
+
+TEST_F(TraceTest, DisabledSpansDoNotAllocate) {
+  set_trace_enabled(false);
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    TPI_SPAN("disabled.hot");
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+}
+
+TEST_F(TraceTest, NestedSpansAreContainedAndChildRecordedFirst) {
+  set_trace_enabled(true);
+  {
+    TPI_SPAN("outer");
+    {
+      TPI_SPAN("inner");
+    }
+  }
+  set_trace_enabled(false);
+  ASSERT_EQ(trace_event_count(), 2u);
+  const std::string json = trace_to_json();
+  // Destruction order: the inner span completes (and is appended) first.
+  const std::size_t inner_pos = json.find("\"inner\"");
+  const std::size_t outer_pos = json.find("\"outer\"");
+  ASSERT_NE(inner_pos, std::string::npos);
+  ASSERT_NE(outer_pos, std::string::npos);
+  EXPECT_LT(inner_pos, outer_pos);
+}
+
+TEST_F(TraceTest, InstantMarkersRecordWhenEnabled) {
+  trace_instant("marker.off");  // disabled: dropped
+  set_trace_enabled(true);
+  trace_instant("marker.on");
+  set_trace_enabled(false);
+  EXPECT_EQ(trace_event_count(), 1u);
+  const std::string json = trace_to_json();
+  EXPECT_EQ(json.find("marker.off"), std::string::npos);
+  EXPECT_NE(json.find("marker.on"), std::string::npos);
+}
+
+TEST_F(TraceTest, ConcurrentEmissionFromPoolWorkersLosesNothing) {
+  constexpr int kTasks = 64;
+  constexpr int kSpansPerTask = 100;
+  set_trace_enabled(true);
+  {
+    ThreadPool pool(4);
+    std::vector<std::future<void>> done;
+    done.reserve(kTasks);
+    for (int t = 0; t < kTasks; ++t) {
+      done.push_back(pool.submit([] {
+        for (int i = 0; i < kSpansPerTask; ++i) {
+          TPI_SPAN("worker.span");
+        }
+      }));
+    }
+    for (auto& f : done) f.get();
+  }
+  set_trace_enabled(false);
+  EXPECT_EQ(trace_event_count(), static_cast<std::size_t>(kTasks) * kSpansPerTask);
+}
+
+TEST_F(TraceTest, JsonIsWellFormedChromeTraceFormat) {
+  set_trace_enabled(true);
+  {
+    TPI_SPAN("json.span");
+    ThreadPool pool(2);
+    auto f = pool.submit([] { TPI_SPAN("json.worker"); });
+    f.get();
+  }
+  set_trace_enabled(false);
+  const std::string json = trace_to_json();
+  std::string error;
+  EXPECT_TRUE(json_well_formed(json, &error)) << error;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+  // Spans from two different threads carry different tids.
+  const std::size_t first_tid = json.find("\"tid\": ");
+  ASSERT_NE(first_tid, std::string::npos);
+  EXPECT_NE(json.find("\"tid\": ", first_tid + 1), std::string::npos);
+}
+
+TEST_F(TraceTest, ResetClearsEventsButKeepsRecording) {
+  set_trace_enabled(true);
+  {
+    TPI_SPAN("before.reset");
+  }
+  EXPECT_EQ(trace_event_count(), 1u);
+  trace_reset();
+  EXPECT_EQ(trace_event_count(), 0u);
+  {
+    TPI_SPAN("after.reset");
+  }
+  set_trace_enabled(false);
+  EXPECT_EQ(trace_event_count(), 1u);
+  EXPECT_NE(trace_to_json().find("after.reset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpi
