@@ -9,6 +9,7 @@
 #include "extraction/extraction.hpp"
 #include "layout/placement.hpp"
 #include "layout/routing.hpp"
+#include "netlist/design_db.hpp"
 #include "scan/scan.hpp"
 #include "sta/sta.hpp"
 #include "util/rng.hpp"
@@ -29,7 +30,7 @@ const CellLibrary& lib() {
   return *l;
 }
 
-const Netlist& scan_netlist() {
+Netlist& scan_netlist_mutable() {
   static const std::unique_ptr<Netlist> nl = [] {
     auto n = generate_circuit(lib(), micro_profile());
     ScanOptions so;
@@ -39,6 +40,8 @@ const Netlist& scan_netlist() {
   }();
   return *nl;
 }
+
+const Netlist& scan_netlist() { return scan_netlist_mutable(); }
 
 void BM_GenerateCircuit(benchmark::State& state) {
   for (auto _ : state) {
@@ -136,6 +139,36 @@ void BM_AtpgStage(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AtpgStage)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// DesignDB cache effect, cold side: a fresh database per iteration pays
+// the full levelize + CombModel compile + testability analysis — what
+// every consumer paid per stage before the cache existed.
+void BM_DesignDbColdRebuild(benchmark::State& state) {
+  Netlist& nl = scan_netlist_mutable();
+  for (auto _ : state) {
+    DesignDB db(nl);
+    const TestabilityResult& t = db.testability(SeqView::kCapture);
+    benchmark::DoNotOptimize(t.p1.size());
+  }
+  state.counters["rebuilds_per_iter"] = 3;  // topo + comb + testability
+}
+BENCHMARK(BM_DesignDbColdRebuild)->Unit(benchmark::kMillisecond);
+
+// Cached side: the netlist is unedited between iterations, so every access
+// is a version-check hit. The cold/cached gap is the per-stage saving the
+// flow engine banks whenever a stage boundary carries no netlist edit.
+void BM_DesignDbCachedReuse(benchmark::State& state) {
+  DesignDB db(scan_netlist_mutable());
+  db.testability(SeqView::kCapture);  // warm all three views
+  for (auto _ : state) {
+    const CombModel& model = db.comb_model(SeqView::kCapture);
+    const TestabilityResult& t = db.testability(SeqView::kCapture);
+    benchmark::DoNotOptimize(model.num_nets());
+    benchmark::DoNotOptimize(t.p1.size());
+  }
+  state.counters["view_hits"] = static_cast<double>(db.counters().view_hits);
+}
+BENCHMARK(BM_DesignDbCachedReuse);
 
 void BM_PodemPerFault(benchmark::State& state) {
   const CombModel model(scan_netlist(), SeqView::kCapture);

@@ -6,6 +6,7 @@
 #include "bench_common.hpp"
 #include "bist/lbist.hpp"
 #include "circuits/generator.hpp"
+#include "netlist/design_db.hpp"
 #include "tpi/tpi.hpp"
 
 int main() {
@@ -33,15 +34,16 @@ int main() {
     ThreadPool pool(static_cast<unsigned>(bench_jobs()));
     for (const double pct : {0.0, 1.0, 2.0}) {
       sessions.push_back(pool.submit([&lib, &profile, &lbist, pct] {
-        auto nl = generate_circuit(*lib, profile);
+        // One DesignDB per session: LBIST pulls the capture model from the
+        // cache (a rebuild only when the last TPI round edited the netlist).
+        DesignDB db(generate_circuit(*lib, profile));
         TpiOptions tpi_opts;
         tpi_opts.num_test_points = static_cast<int>(
-            pct / 100.0 * static_cast<double>(nl->flip_flops().size()));
-        insert_test_points(*nl, tpi_opts);
+            pct / 100.0 * static_cast<double>(db.netlist().flip_flops().size()));
+        insert_test_points(db, tpi_opts);
         std::fprintf(stderr, "[bench] LBIST with %d test points...\n",
                      tpi_opts.num_test_points);
-        CombModel model(*nl, SeqView::kCapture);
-        return Session{tpi_opts.num_test_points, run_lbist(model, lbist)};
+        return Session{tpi_opts.num_test_points, run_lbist(db, lbist)};
       }));
     }
   }

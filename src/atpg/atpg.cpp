@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "atpg/fault_sim.hpp"
+#include "netlist/design_db.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
@@ -238,6 +239,12 @@ AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability
   m.add("atpg.sim.node_evals", t.node_evals);
   m.add("atpg.sim.events", t.events);
   return res;
+}
+
+AtpgResult run_atpg(DesignDB& db, const AtpgOptions& opts) {
+  const CombModel& model = db.comb_model(SeqView::kCapture);
+  const TestabilityResult& testability = db.testability(SeqView::kCapture);
+  return run_atpg(model, testability, opts);
 }
 
 std::int64_t test_data_volume(int num_chains, int max_chain_length, int num_patterns) {

@@ -112,6 +112,13 @@ struct AtpgResult {
 AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability,
                     const AtpgOptions& opts = {});
 
+class DesignDB;
+
+/// Same driver over the design database: pulls the capture-view CombModel
+/// and testability from the DB cache (a rebuild only when the netlist was
+/// edited since they were last built).
+AtpgResult run_atpg(DesignDB& db, const AtpgOptions& opts = {});
+
 /// Test data volume in scan bits, eq. (1): TDV = 2n((l_max+1)p + l_max).
 std::int64_t test_data_volume(int num_chains, int max_chain_length, int num_patterns);
 

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "atpg/fault_sim.hpp"
+#include "netlist/design_db.hpp"
 
 namespace tpi {
 
@@ -112,6 +113,10 @@ LbistResult run_lbist(const CombModel& model, const LbistOptions& opts) {
       100.0 * static_cast<double>(covered) / static_cast<double>(res.total_faults);
   res.signature = misr.signature();
   return res;
+}
+
+LbistResult run_lbist(DesignDB& db, const LbistOptions& opts) {
+  return run_lbist(db.comb_model(SeqView::kCapture), opts);
 }
 
 }  // namespace tpi

@@ -89,4 +89,9 @@ struct LbistResult {
 /// responses. Scan-tested faults count as covered (shift/flush tests).
 LbistResult run_lbist(const CombModel& model, const LbistOptions& opts = {});
 
+class DesignDB;
+
+/// Same session over the design database's cached capture-view model.
+LbistResult run_lbist(DesignDB& db, const LbistOptions& opts = {});
+
 }  // namespace tpi

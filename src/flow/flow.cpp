@@ -5,7 +5,6 @@
 
 #include "circuits/generator.hpp"
 #include "layout/placement.hpp"
-#include "sim/comb_model.hpp"
 #include "util/log.hpp"
 #include "util/trace.hpp"
 
@@ -22,17 +21,18 @@ std::vector<std::pair<double, double>> cell_positions(const Netlist& nl, const P
 
 // Pre-TPI timing pass for timing-driven TPI (§5): quick layout + STA on the
 // unmodified netlist to find the small-slack nets.
-std::unordered_set<NetId> small_slack_nets(const Netlist& nl, const CircuitProfile& profile,
+std::unordered_set<NetId> small_slack_nets(DesignDB& db, const CircuitProfile& profile,
                                            double slack_threshold_ps) {
   // Work on a throwaway layout of the same netlist (no edits needed: the
-  // analysis is read-only).
+  // analysis is read-only, so the topo view it caches survives into TPI).
+  const Netlist& nl = db.netlist();
   FloorplanOptions fpo;
   fpo.target_row_utilization = profile.target_row_utilization;
   const Floorplan fp = make_floorplan(nl, fpo);
   const Placement pl = place(nl, fp, PlacementOptions{});
   const RoutingResult routes = route(nl, fp, pl);
   const ExtractionResult px = extract(nl, routes);
-  const StaResult sta = run_sta(nl, px);
+  const StaResult sta = run_sta(db, px);
   std::unordered_set<NetId> out;
   for (std::size_t n = 0; n < sta.net_slack_ps.size(); ++n) {
     if (sta.net_slack_ps[n] < slack_threshold_ps) out.insert(static_cast<NetId>(n));
@@ -68,6 +68,7 @@ StageMask stage_mask_from(const FlowOptions& opts) {
 
 FlowEngine::FlowEngine(Netlist& nl, const CircuitProfile& profile, const FlowOptions& opts)
     : nl_(&nl), profile_(profile), opts_(opts) {
+  db_.emplace(*nl_);
   res_.circuit = profile_.name;
   scan_opts_.max_chain_length = profile_.max_chain_length;
   scan_opts_.max_chains = profile_.max_chains;
@@ -77,6 +78,7 @@ FlowEngine::FlowEngine(const CellLibrary& lib, const CircuitProfile& profile,
                        const FlowOptions& opts)
     : owned_nl_(generate_circuit(lib, profile)), nl_(owned_nl_.get()), profile_(profile),
       opts_(opts) {
+  db_.emplace(*nl_);
   res_.circuit = profile_.name;
   scan_opts_.max_chain_length = profile_.max_chain_length;
   scan_opts_.max_chains = profile_.max_chains;
@@ -168,9 +170,9 @@ void FlowEngine::do_tpi_scan() {
   tpi_opts.num_test_points = num_tp;
   tpi_opts.method = opts_.tpi_method;
   if (opts_.timing_driven_tpi && num_tp > 0) {
-    tpi_opts.excluded_nets = small_slack_nets(nl, profile_, opts_.timing_exclude_slack_ps);
+    tpi_opts.excluded_nets = small_slack_nets(*db_, profile_, opts_.timing_exclude_slack_ps);
   }
-  const TpiReport tpi_report = insert_test_points(nl, tpi_opts);
+  const TpiReport tpi_report = insert_test_points(*db_, tpi_opts);
   res_.num_test_points = static_cast<int>(tpi_report.test_points.size());
 
   insert_scan(nl, scan_opts_);
@@ -224,11 +226,9 @@ void FlowEngine::stitch_scan_chains() {
 void FlowEngine::do_reorder_atpg() {
   stitch_scan_chains();
 
-  CombModel capture(*nl_, SeqView::kCapture);
-  const TestabilityResult testab = analyze_testability(capture);
   AtpgOptions atpg_opts = opts_.atpg;
   atpg_opts.seed ^= profile_.seed;
-  res_.atpg = run_atpg(capture, testab, atpg_opts);
+  res_.atpg = run_atpg(*db_, atpg_opts);
   // The fault-sim kernel profile (per-phase wall clock + event counts,
   // AtpgResult::profile) rides inside res_.atpg, so FlowObserver callbacks
   // and the sweep JSON report see it through StageEvent::result.
@@ -279,7 +279,7 @@ void FlowEngine::do_eco() {
 void FlowEngine::do_extract() { extraction_ = extract(*nl_, *routes_); }
 
 // ---- stage 6: static timing analysis ----
-void FlowEngine::do_sta() { res_.sta = run_sta(*nl_, *extraction_); }
+void FlowEngine::do_sta() { res_.sta = run_sta(*db_, *extraction_); }
 
 FlowResult run_flow(const CellLibrary& lib, const CircuitProfile& profile,
                     const FlowOptions& opts) {

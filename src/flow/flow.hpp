@@ -29,6 +29,7 @@
 #include "flow/stage.hpp"
 #include "layout/clock_tree.hpp"
 #include "layout/routing.hpp"
+#include "netlist/design_db.hpp"
 #include "scan/scan.hpp"
 #include "sta/sta.hpp"
 #include "tpi/tpi.hpp"
@@ -135,6 +136,11 @@ class FlowEngine {
   const FlowResult& result() const { return res_; }
   bool stage_ran(Stage stage) const { return ran_[static_cast<std::size_t>(stage)]; }
 
+  /// Design database threaded through all stages: TPI, ATPG and STA pull
+  /// their derived views (TopoOrder / CombModel / testability) from here,
+  /// so an edit-free stage boundary is a cache hit instead of a rebuild.
+  DesignDB& design_db() { return *db_; }
+
   /// Intermediate layout state, for partial-flow callers (snapshots,
   /// custom analyses). Null until the producing stage ran.
   const Netlist& netlist() const { return *nl_; }
@@ -157,6 +163,7 @@ class FlowEngine {
 
   std::unique_ptr<Netlist> owned_nl_;  ///< set by the generating constructor
   Netlist* nl_;
+  std::optional<DesignDB> db_;  ///< wraps *nl_, set in the constructors
   CircuitProfile profile_;
   FlowOptions opts_;
   FlowObserver* observer_ = nullptr;

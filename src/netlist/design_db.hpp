@@ -1,0 +1,112 @@
+// DesignDB — versioned design database with cached derived views.
+//
+// The paper's flow (Fig. 2) re-analyzes the same circuit after every edit
+// step: each TPI round recomputes testability (§3.1 step 1), ATPG compiles
+// the capture model, STA levelizes the application view. Instead of every
+// consumer rebuilding its own derived structure, a DesignDB wraps the
+// Netlist and serves lazily built, version-checked views:
+//
+//   topo(view)        — TopoOrder per SeqView
+//   comb_model(view)  — CombModel per SeqView (includes the
+//                       fault-reachability side table, reaches_observe)
+//   testability(view) — SCOAP/COP TestabilityResult over comb_model(view)
+//
+// Freshness is decided against the Netlist edit journal:
+//   * hit      — netlist version unchanged since the view was built;
+//   * refresh  — edits happened, but the per-view dirty version proves the
+//     view's content is still exact (e.g. fillers/clock buffers added,
+//     scan pins rewired, DFF->SDFF swaps); only per-cell/per-net arrays
+//     are padded to the new sizes — bit-identical to a rebuild;
+//   * rebuild  — the view's semantics actually changed.
+// A stale view is NEVER served: CombModel::num_nets() reads the live
+// netlist, so serving stale per-net arrays would be out-of-bounds.
+//
+// When the netlist contains no TSFF cells the two SeqViews are the same
+// function of the netlist (is_boundary only differs on TSFFs), so their
+// TopoOrders share one slot — this is what lets post-ECO STA reuse the
+// capture-view order ATPG built, despite CTS/filler edits in between.
+//
+// Accesses record deterministic counters into the active MetricsRegistry
+// (designdb.view_hits / designdb.view_refreshes / designdb.rebuilds plus
+// per-kind rebuild counts). They carry no "rt." prefix: identical at any
+// TPI_BENCH_JOBS / TPI_ATPG_JOBS, so they are part of the sweep-JSON
+// determinism contract.
+//
+// Thread safety: all view accessors serialise on an internal mutex, so
+// concurrent read-only access from pool workers is safe. Returned
+// references stay valid until the next Netlist edit; editing while another
+// thread holds or requests a view is the caller's race, not the DB's.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "netlist/levelize.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/comb_model.hpp"
+#include "testability/testability.hpp"
+
+namespace tpi {
+
+class DesignDB {
+ public:
+  /// Non-owning: wrap a caller-held netlist (edits must go through
+  /// netlist() or the same underlying object — the version check catches
+  /// either way).
+  explicit DesignDB(Netlist& nl) : nl_(&nl) {}
+  /// Owning: the DB holds the netlist (e.g. straight from the generator).
+  explicit DesignDB(std::unique_ptr<Netlist> nl)
+      : owned_nl_(std::move(nl)), nl_(owned_nl_.get()) {}
+
+  DesignDB(const DesignDB&) = delete;
+  DesignDB& operator=(const DesignDB&) = delete;
+
+  Netlist& netlist() { return *nl_; }
+  const Netlist& netlist() const { return *nl_; }
+  std::uint64_t version() const { return nl_->version(); }
+
+  /// Cached topological order of `view`; valid until the next edit.
+  const TopoOrder& topo(SeqView view);
+  /// Cached compiled comb model of `view`; valid until the next edit.
+  const CombModel& comb_model(SeqView view);
+  /// Cached SCOAP/COP analysis over comb_model(view); valid until the next
+  /// edit.
+  const TestabilityResult& testability(SeqView view);
+
+  /// Lifetime cache statistics (also mirrored into metrics()).
+  struct Counters {
+    std::uint64_t view_hits = 0;
+    std::uint64_t view_refreshes = 0;
+    std::uint64_t rebuilds = 0;  ///< sum of the per-kind rebuilds below
+    std::uint64_t topo_rebuilds = 0;
+    std::uint64_t comb_rebuilds = 0;
+    std::uint64_t testability_rebuilds = 0;
+  };
+  Counters counters() const;
+
+ private:
+  template <typename T>
+  struct Slot {
+    std::unique_ptr<T> value;
+    std::uint64_t built = 0;  ///< netlist version at build/refresh time
+  };
+
+  // Unlocked implementations (mu_ held by the public accessors).
+  const TopoOrder& topo_locked(SeqView view);
+  const CombModel& comb_locked(SeqView view);
+  bool topo_slots_aliased() const { return nl_->num_tsff_cells() == 0; }
+  void count_hit();
+  void count_refresh();
+  void count_rebuild(std::uint64_t Counters::* kind);
+
+  std::unique_ptr<Netlist> owned_nl_;
+  Netlist* nl_;
+  mutable std::mutex mu_;
+  Slot<TopoOrder> topo_[2];
+  Slot<CombModel> comb_[2];
+  Slot<TestabilityResult> testab_[2];
+  Counters counters_;
+};
+
+}  // namespace tpi

@@ -11,25 +11,33 @@ bool is_boundary(const Netlist& nl, CellId cell_id, SeqView view) {
   return true;
 }
 
-namespace {
-
-// A cell participates in the combinational graph if it computes logic in
-// this view. Boundaries, clock buffers, fillers and ties-with-no-load all
-// stay out of `order` (ties have no inputs anyway and are handled as
-// constant sources by consumers).
-bool in_graph(const Netlist& nl, CellId cell_id, SeqView view) {
-  const CellSpec* spec = nl.cell(cell_id).spec;
-  switch (spec->func) {
+bool in_comb_graph(const CellSpec& spec, SeqView view) {
+  switch (spec.func) {
     case CellFunc::kFiller:
     case CellFunc::kClkBuf:
     case CellFunc::kTie0:
     case CellFunc::kTie1:
       return false;
+    case CellFunc::kTsff:
+      return view == SeqView::kApplication;  // transparent = combinational
     default:
       break;
   }
-  if (spec->sequential) return !is_boundary(nl, cell_id, view);
-  return true;
+  return !spec.sequential;
+}
+
+bool is_logic_input_pin(const CellSpec& spec, int pin) {
+  if (spec.func == CellFunc::kTsff) return pin == spec.d_pin;
+  const PinSpec& ps = spec.pins[static_cast<std::size_t>(pin)];
+  if (ps.dir != PinDir::kInput || ps.is_clock) return false;
+  // Scan pins of regular flip-flops are not part of the logic function.
+  return pin != spec.ti_pin && pin != spec.te_pin && pin != spec.tr_pin;
+}
+
+namespace {
+
+bool in_graph(const Netlist& nl, CellId cell_id, SeqView view) {
+  return in_comb_graph(*nl.cell(cell_id).spec, view);
 }
 
 // Input pins whose value feeds the cell's combinational function in this
@@ -37,17 +45,8 @@ bool in_graph(const Netlist& nl, CellId cell_id, SeqView view) {
 void logic_input_pins(const Netlist& nl, CellId cell_id, std::vector<int>& pins) {
   pins.clear();
   const CellSpec* spec = nl.cell(cell_id).spec;
-  if (spec->func == CellFunc::kTsff) {
-    pins.push_back(spec->d_pin);
-    return;
-  }
   for (std::size_t p = 0; p < spec->pins.size(); ++p) {
-    const PinSpec& ps = spec->pins[p];
-    if (ps.dir != PinDir::kInput || ps.is_clock) continue;
-    // Scan pins of regular flip-flops are not part of the logic function.
-    const int ip = static_cast<int>(p);
-    if (ip == spec->ti_pin || ip == spec->te_pin || ip == spec->tr_pin) continue;
-    pins.push_back(ip);
+    if (is_logic_input_pin(*spec, static_cast<int>(p))) pins.push_back(static_cast<int>(p));
   }
 }
 

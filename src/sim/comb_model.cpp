@@ -5,8 +5,20 @@
 
 namespace tpi {
 
-CombModel::CombModel(const Netlist& nl, SeqView view) : nl_(&nl), view_(view) {
-  const TopoOrder topo = levelize(nl, view);
+CombModel::CombModel(const Netlist& nl, SeqView view)
+    : CombModel(nl, view, levelize(nl, view)) {}
+
+void CombModel::pad_to_netlist() {
+  // New nets since the build are driven by nothing the model knows about:
+  // no producer, no readers, outside every observe cone. Identical to what
+  // a full rebuild assigns them.
+  producer_.resize(nl_->num_nets(), -1);
+  readers_.resize(nl_->num_nets());
+  reaches_observe_.resize(nl_->num_nets(), 0);
+}
+
+CombModel::CombModel(const Netlist& nl, SeqView view, const TopoOrder& topo)
+    : nl_(&nl), view_(view) {
   acyclic_ = topo.acyclic;
   producer_.assign(nl.num_nets(), -1);
   readers_.assign(nl.num_nets(), {});

@@ -28,6 +28,16 @@ struct CombNode {
 class CombModel {
  public:
   CombModel(const Netlist& nl, SeqView view);
+  /// Compile against a precomputed topological order (must be the result
+  /// of levelize(nl, view)); lets DesignDB share one cached TopoOrder
+  /// between the model and other consumers instead of levelizing twice.
+  CombModel(const Netlist& nl, SeqView view, const TopoOrder& topo);
+
+  /// Internal hook for DesignDB's cached-view refresh: when the netlist
+  /// only grew nets that no logic touches since this model was built
+  /// (comb_version unchanged), extend the per-net tables to num_nets() —
+  /// the exact arrays a rebuild would produce. Not for general use.
+  void pad_to_netlist();
 
   const Netlist& netlist() const { return *nl_; }
   SeqView view() const { return view_; }

@@ -5,30 +5,38 @@
 namespace tpi {
 
 SequentialSim::SequentialSim(const Netlist& nl)
-    : model_(nl, SeqView::kApplication), sim_(model_) {
+    : owned_model_(std::in_place, nl, SeqView::kApplication),
+      model_(&*owned_model_),
+      sim_(*model_) {
   reset();
 }
 
-void SequentialSim::reset() { state_.assign(model_.boundary_ffs().size(), 0); }
+SequentialSim::SequentialSim(const CombModel& model)
+    : model_(&model), sim_(*model_) {
+  assert(model.view() == SeqView::kApplication);
+  reset();
+}
+
+void SequentialSim::reset() { state_.assign(model_->boundary_ffs().size(), 0); }
 
 void SequentialSim::step(const std::vector<Word>& pi_words, std::vector<Word>& po_words) {
-  assert(pi_words.size() == model_.num_pi_inputs());
-  const auto& inputs = model_.input_nets();
-  for (std::size_t i = 0; i < model_.num_pi_inputs(); ++i) {
+  assert(pi_words.size() == model_->num_pi_inputs());
+  const auto& inputs = model_->input_nets();
+  for (std::size_t i = 0; i < model_->num_pi_inputs(); ++i) {
     sim_.set_value(inputs[i], pi_words[i]);
   }
   for (std::size_t i = 0; i < state_.size(); ++i) {
-    sim_.set_value(inputs[model_.num_pi_inputs() + i], state_[i]);
+    sim_.set_value(inputs[model_->num_pi_inputs() + i], state_[i]);
   }
   sim_.run();
-  po_words.resize(model_.num_po_observes());
-  const auto& observes = model_.observe_nets();
-  for (std::size_t i = 0; i < model_.num_po_observes(); ++i) {
+  po_words.resize(model_->num_po_observes());
+  const auto& observes = model_->observe_nets();
+  for (std::size_t i = 0; i < model_->num_po_observes(); ++i) {
     po_words[i] = sim_.value(observes[i]);
   }
   // Next state: D values of the boundary flip-flops.
   for (std::size_t i = 0; i < state_.size(); ++i) {
-    state_[i] = sim_.value(observes[model_.num_po_observes() + i]);
+    state_[i] = sim_.value(observes[model_->num_po_observes() + i]);
   }
 }
 

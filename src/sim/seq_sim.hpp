@@ -6,6 +6,7 @@
 // logically invisible in application mode).
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "sim/parallel_sim.hpp"
@@ -16,8 +17,13 @@ class SequentialSim {
  public:
   explicit SequentialSim(const Netlist& nl);
 
+  /// Borrow an application-view model someone else owns (e.g. a DesignDB
+  /// cache); the model must outlive the simulator and stay application
+  /// view.
+  explicit SequentialSim(const CombModel& model);
+
   /// Number of state bits (application-view boundary flip-flops).
-  std::size_t num_state_bits() const { return model_.boundary_ffs().size(); }
+  std::size_t num_state_bits() const { return model_->boundary_ffs().size(); }
 
   /// Reset all flip-flops to 0.
   void reset();
@@ -31,10 +37,11 @@ class SequentialSim {
   const std::vector<Word>& state() const { return state_; }
   void set_state(const std::vector<Word>& s) { state_ = s; }
 
-  const CombModel& model() const { return model_; }
+  const CombModel& model() const { return *model_; }
 
  private:
-  CombModel model_;
+  std::optional<CombModel> owned_model_;  ///< empty in borrowed-model mode
+  const CombModel* model_;                ///< owned_model_ or the borrowed one
   ParallelSim sim_;
   std::vector<Word> state_;
 };

@@ -6,6 +6,7 @@
 #include <limits>
 #include <queue>
 
+#include "netlist/design_db.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
@@ -31,8 +32,11 @@ int sink_index(const Net& net, CellId cell, int pin) {
 
 class StaEngine {
  public:
-  StaEngine(const Netlist& nl, const ExtractionResult& px, const StaOptions& opts)
-      : nl_(nl), px_(px), opts_(opts) {}
+  /// `topo` must be levelize(nl, SeqView::kApplication); both the forward
+  /// arrival pass and the backward slack pass walk the same order.
+  StaEngine(const Netlist& nl, const ExtractionResult& px, const StaOptions& opts,
+            const TopoOrder& topo)
+      : nl_(nl), px_(px), opts_(opts), topo_(topo) {}
 
   StaResult run() {
     net_.assign(nl_.num_nets(), NetArrival{});
@@ -146,8 +150,7 @@ class StaEngine {
       }
     }
 
-    const TopoOrder topo = levelize(nl_, SeqView::kApplication);
-    for (const CellId cid : topo.order) {
+    for (const CellId cid : topo_.order) {
       const CellInst& inst = nl_.cell(cid);
       const NetId out = inst.output_net();
       if (out == kNoNet) continue;
@@ -265,8 +268,7 @@ class StaEngine {
           std::max(down[static_cast<std::size_t>(d_net)],
                    wire + inst.spec->setup_ps - ck_arrival_[c]);
     }
-    const TopoOrder topo = levelize(nl_, SeqView::kApplication);
-    for (auto it = topo.order.rbegin(); it != topo.order.rend(); ++it) {
+    for (auto it = topo_.order.rbegin(); it != topo_.order.rend(); ++it) {
       const CellId cid = *it;
       const CellInst& inst = nl_.cell(cid);
       const NetId out = inst.output_net();
@@ -296,6 +298,7 @@ class StaEngine {
   const Netlist& nl_;
   const ExtractionResult& px_;
   StaOptions opts_;
+  const TopoOrder& topo_;
   std::vector<NetArrival> net_;
   std::vector<double> ck_arrival_;
   std::vector<double> ck_slew_;
@@ -309,16 +312,32 @@ class StaEngine {
 
 }  // namespace
 
-StaResult run_sta(const Netlist& nl, const ExtractionResult& parasitics,
-                  const StaOptions& opts) {
+namespace {
+
+StaResult run_sta_with(const Netlist& nl, const TopoOrder& topo,
+                       const ExtractionResult& parasitics, const StaOptions& opts) {
   TPI_SPAN("sta.run");
-  StaEngine engine(nl, parasitics, opts);
+  StaEngine engine(nl, parasitics, opts, topo);
   StaResult res = engine.run();
   MetricsRegistry& m = metrics();
   m.add("sta.runs");
   m.add("sta.domains", res.per_domain.size());
   m.add("sta.slow_nodes", static_cast<std::uint64_t>(res.slow_nodes));
   return res;
+}
+
+}  // namespace
+
+StaResult run_sta(const Netlist& nl, const ExtractionResult& parasitics,
+                  const StaOptions& opts) {
+  // One levelize shared by the forward and backward passes.
+  const TopoOrder topo = levelize(nl, SeqView::kApplication);
+  return run_sta_with(nl, topo, parasitics, opts);
+}
+
+StaResult run_sta(DesignDB& db, const ExtractionResult& parasitics,
+                  const StaOptions& opts) {
+  return run_sta_with(db.netlist(), db.topo(SeqView::kApplication), parasitics, opts);
 }
 
 }  // namespace tpi

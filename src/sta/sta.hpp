@@ -20,6 +20,8 @@
 
 namespace tpi {
 
+class DesignDB;
+
 struct StaOptions {
   double pi_input_slew_ps = 100.0;
   double clock_root_slew_ps = 80.0;
@@ -57,6 +59,12 @@ struct StaResult {
 };
 
 StaResult run_sta(const Netlist& nl, const ExtractionResult& parasitics,
+                  const StaOptions& opts = {});
+
+/// Same analysis, pulling the application-view TopoOrder from the design
+/// database's cache instead of levelizing (post-ECO the order is usually a
+/// cheap refresh of the one ATPG already built).
+StaResult run_sta(DesignDB& db, const ExtractionResult& parasitics,
                   const StaOptions& opts = {});
 
 }  // namespace tpi

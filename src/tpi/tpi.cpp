@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <queue>
 
+#include "netlist/design_db.hpp"
 #include "util/log.hpp"
 
 namespace tpi {
@@ -32,18 +32,33 @@ bool legal_site(const Netlist& nl, NetId net_id) {
   return has_logic_load;
 }
 
+/// §3.1 step 2 search budget: the BFS for the nearest flip-flop's clock
+/// stops after visiting this many nets. In practice a sequential element
+/// sits within a handful of hops of any legal TSFF site, so the cap only
+/// triggers on pathological fan-out; the fallback is the first declared
+/// clock domain.
+constexpr int kNearestClockMaxVisits = 4000;
+
+/// BFS scratch, hoisted by the caller across sites so the per-site search
+/// reuses one allocation instead of a fresh queue + hash set each time.
+struct NearestClockScratch {
+  std::vector<NetId> frontier;  ///< head-indexed FIFO (like levelize)
+  std::unordered_set<NetId> seen;
+};
+
 // §3.1 step 2: the clock for a new TSFF is the domain of the nearest
 // flip-flop, found by BFS through the netlist from the insertion site.
-NetId nearest_clock(const Netlist& nl, NetId site) {
-  std::queue<NetId> frontier;
-  std::unordered_set<NetId> seen;
-  frontier.push(site);
+NetId nearest_clock(const Netlist& nl, NetId site, NearestClockScratch& scratch) {
+  std::vector<NetId>& frontier = scratch.frontier;
+  std::unordered_set<NetId>& seen = scratch.seen;
+  frontier.clear();
+  seen.clear();
+  frontier.push_back(site);
   seen.insert(site);
-  int visited = 0;
-  while (!frontier.empty() && visited < 4000) {
-    const NetId net_id = frontier.front();
-    frontier.pop();
-    ++visited;
+  for (std::size_t head = 0;
+       head < frontier.size() && head < static_cast<std::size_t>(kNearestClockMaxVisits);
+       ++head) {
+    const NetId net_id = frontier[head];
     const Net& net = nl.net(net_id);
     auto visit_cell = [&](CellId cid) -> NetId {
       const CellInst& inst = nl.cell(cid);
@@ -58,13 +73,13 @@ NetId nearest_clock(const Netlist& nl, NetId site) {
       const NetId ck = visit_cell(s.cell);
       if (ck != kNoNet) return ck;
       const NetId out = nl.cell(s.cell).output_net();
-      if (out != kNoNet && seen.insert(out).second) frontier.push(out);
+      if (out != kNoNet && seen.insert(out).second) frontier.push_back(out);
     }
     if (net.driver.valid()) {
       const NetId ck = visit_cell(net.driver.cell);
       if (ck != kNoNet) return ck;
       for (const NetId in : nl.cell(net.driver.cell).conn) {
-        if (in != kNoNet && in != net_id && seen.insert(in).second) frontier.push(in);
+        if (in != kNoNet && in != net_id && seen.insert(in).second) frontier.push_back(in);
       }
     }
   }
@@ -270,22 +285,31 @@ std::vector<NetId> rank_tpi_candidates(const Netlist& nl, const TestabilityResul
   return out;
 }
 
-TpiReport insert_test_points(Netlist& nl, const TpiOptions& opts) {
+TpiReport insert_test_points(DesignDB& db, const TpiOptions& opts) {
   TpiReport report;
   if (opts.num_test_points <= 0) return report;
+  Netlist& nl = db.netlist();
   const CellSpec* tsff = nl.library().by_name("TSFF_X1");
   assert(tsff != nullptr);
 
   const NetId te = get_or_create_control_pi(nl, opts.te_pi_name);
   const NetId tr = get_or_create_control_pi(nl, opts.tr_pi_name);
 
+  // BFS scratch shared across every site of every round (satellite: one
+  // allocation instead of a queue + hash set per insertion).
+  NearestClockScratch scratch;
+  std::vector<NetId> changed_nets;
+
   const int rounds = std::max(1, opts.rounds);
   int remaining = opts.num_test_points;
   for (int round = 0; round < rounds && remaining > 0; ++round) {
-    // Step 1 (§3.1): recompute the testability analyses on the current
-    // netlist — previously inserted TSFFs are scan-cell boundaries now.
-    CombModel model(nl, SeqView::kCapture);
-    const TestabilityResult t = analyze_testability(model);
+    // Step 1 (§3.1): the testability analyses over the current netlist —
+    // pulled from the design database, so a round that follows an
+    // edit-free round reuses the previous views instead of rebuilding
+    // (previously inserted TSFFs are scan-cell boundaries in this view).
+    const std::uint64_t round_start = nl.version();
+    const CombModel& model = db.comb_model(SeqView::kCapture);
+    const TestabilityResult& t = db.testability(SeqView::kCapture);
 
     const int batch = std::min(remaining, (opts.num_test_points + rounds - 1) / rounds);
     std::unordered_set<NetId> excluded = opts.excluded_nets;
@@ -301,7 +325,7 @@ TpiReport insert_test_points(Netlist& nl, const TpiOptions& opts) {
       nl.connect(tp, tsff->te_pin, te);
       nl.connect(tp, tsff->tr_pin, tr);
       // Step 2 (§3.1): clock-domain assignment.
-      const NetId ck = nearest_clock(nl, site);
+      const NetId ck = nearest_clock(nl, site, scratch);
       if (ck != kNoNet) nl.connect(tp, tsff->clock_pin, ck);
       report.test_points.push_back(tp);
       report.sites.push_back(site);
@@ -309,11 +333,22 @@ TpiReport insert_test_points(Netlist& nl, const TpiOptions& opts) {
       if (remaining == 0) break;
     }
     ++report.rounds_run;
+    // Journal what this round touched: -1 when the bounded edit journal
+    // overflowed and the precise net set is gone.
+    changed_nets.clear();
+    const bool complete = nl.nets_changed_since(round_start, changed_nets);
+    report.nets_changed_per_round.push_back(
+        complete ? static_cast<int>(changed_nets.size()) : -1);
   }
   report.candidates_rejected_excluded = static_cast<int>(opts.excluded_nets.size());
   log_info() << "TPI: inserted " << report.test_points.size() << " test points in "
              << report.rounds_run << " rounds";
   return report;
+}
+
+TpiReport insert_test_points(Netlist& nl, const TpiOptions& opts) {
+  DesignDB db(nl);
+  return insert_test_points(db, opts);
 }
 
 }  // namespace tpi

@@ -25,6 +25,8 @@
 
 namespace tpi {
 
+class DesignDB;
+
 enum class TpiMethod {
   kCop,     ///< COP detection-probability cost only
   kScoap,   ///< SCOAP-based cost only
@@ -47,11 +49,23 @@ struct TpiReport {
   std::vector<NetId> sites;         ///< original nets that were split
   int rounds_run = 0;
   int candidates_rejected_excluded = 0;
+  /// Per round: how many distinct nets the round's insertions touched
+  /// (from the Netlist edit journal; -1 when the bounded journal
+  /// overflowed mid-round). A round that inserted nothing records 0 and
+  /// leaves the cached testability views untouched for the next consumer.
+  std::vector<int> nets_changed_per_round;
 };
 
 /// Insert `opts.num_test_points` TSFFs into the netlist. The TSFFs' TI pins
 /// are left open for the scan stitcher; TE/TR connect to shared control
 /// PIs; CK connects to the clock of the nearest flip-flop (§3.1 step 2).
+/// Each round pulls the capture CombModel + testability from the design
+/// database (§3.1 step 1 — a rebuild only when the previous round edited
+/// the netlist) and journals which nets its insertions changed.
+TpiReport insert_test_points(DesignDB& db, const TpiOptions& opts);
+
+/// Compatibility overload over a bare netlist (wraps it in a throwaway
+/// DesignDB).
 TpiReport insert_test_points(Netlist& nl, const TpiOptions& opts);
 
 /// Exposed for tests and the ablation benches: rank candidate nets for one

@@ -97,7 +97,7 @@ TEST(SweepRunnerTest, MergedMetricsDeterministicAcrossJobCounts) {
   for (const char* name :
        {"atpg.sim.faults_graded", "atpg.podem.calls", "flow.stages_run",
         "placement.global_iterations", "routing.net_length_um", "sta.runs",
-        "sim.good_sweeps"}) {
+        "sim.good_sweeps", "designdb.view_hits", "designdb.rebuilds"}) {
     EXPECT_NE(serial.metrics.find(name), nullptr) << name;
     EXPECT_NE(a.find(name), std::string::npos) << name;
   }

@@ -1,0 +1,335 @@
+// DesignDB tests: the Netlist edit journal (version bumps + dirty
+// classification), the cached derived views (hit / refresh / rebuild), and
+// the flow-level construction savings the cache was built for.
+#include "netlist/design_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "../common/test_circuits.hpp"
+#include "flow/flow.hpp"
+#include "netlist/levelize.hpp"
+#include "tpi/tpi.hpp"
+
+namespace tpi {
+namespace {
+
+using test::lib;
+
+// ---- edit journal: version semantics ----
+
+TEST(EditJournalTest, EveryMutatorBumpsVersionExactlyOnce) {
+  Netlist nl(&lib());
+  EXPECT_EQ(nl.version(), 0u);
+
+  const int a = nl.add_primary_input("a");  // composite: also adds a net
+  EXPECT_EQ(nl.version(), 1u);
+  const NetId y = nl.add_net("y");
+  EXPECT_EQ(nl.version(), 2u);
+  const CellSpec* inv = lib().gate(CellFunc::kInv, 1);
+  const CellId g = nl.add_cell(inv, "g");
+  EXPECT_EQ(nl.version(), 3u);
+  nl.connect(g, 0, nl.pi_net(a));
+  EXPECT_EQ(nl.version(), 4u);
+  nl.connect(g, inv->output_pin, y);
+  EXPECT_EQ(nl.version(), 5u);
+  nl.add_primary_output("po", y);  // composite with the sink bookkeeping
+  EXPECT_EQ(nl.version(), 6u);
+  nl.mark_clock(a);
+  EXPECT_EQ(nl.version(), 7u);
+  nl.disconnect(g, 0);
+  EXPECT_EQ(nl.version(), 8u);
+}
+
+TEST(EditJournalTest, NoOpDisconnectDoesNotBumpVersion) {
+  auto nl = test::make_small_comb();
+  const CellId g2 = nl->find_cell("g2");
+  const std::uint64_t v = nl->version();
+  nl->disconnect(g2, 1);
+  EXPECT_EQ(nl->version(), v + 1);
+  nl->disconnect(g2, 1);  // pin already unconnected
+  EXPECT_EQ(nl->version(), v + 1);
+}
+
+TEST(EditJournalTest, CompositeMutatorsBumpVersionExactlyOnce) {
+  auto nl = test::make_shift_register();
+  const std::uint64_t v0 = nl->version();
+
+  // replace_spec = disconnect + connect per carried pin, one bump total.
+  nl->replace_spec(nl->find_cell("f0"), lib().by_name("SDFF_X1"));
+  EXPECT_EQ(nl->version(), v0 + 1);
+
+  // insert_cell_in_net = add_net + disconnect/connect per moved sink.
+  const CellSpec* buf = lib().gate(CellFunc::kBuf, 1);
+  const CellId b = nl->add_cell(buf, "b");
+  EXPECT_EQ(nl->version(), v0 + 2);
+  nl->insert_cell_in_net(nl->find_net("q0"), b, buf->find_pin("A"));
+  EXPECT_EQ(nl->version(), v0 + 3);
+}
+
+TEST(EditJournalTest, NetsChangedSinceReportsTouchedNets) {
+  auto nl = test::make_small_comb();
+  const NetId y = nl->find_net("y");
+  const NetId z = nl->find_net("z");
+  const CellId g2 = nl->find_cell("g2");
+  const std::uint64_t v = nl->version();
+
+  nl->disconnect(g2, 1);  // was y
+  nl->connect(g2, 1, y);
+  std::vector<NetId> changed;
+  ASSERT_TRUE(nl->nets_changed_since(v, changed));
+  ASSERT_EQ(changed.size(), 1u);  // deduplicated
+  EXPECT_EQ(changed[0], y);
+
+  // Nothing after the current version.
+  ASSERT_TRUE(nl->nets_changed_since(nl->version(), changed));
+  EXPECT_TRUE(changed.empty());
+
+  // A later edit on another net shows up; the earlier window still holds.
+  const std::uint64_t v2 = nl->version();
+  nl->disconnect(nl->find_cell("g3"), 1);  // was z
+  ASSERT_TRUE(nl->nets_changed_since(v2, changed));
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0], z);
+  ASSERT_TRUE(nl->nets_changed_since(v, changed));
+  EXPECT_EQ(changed.size(), 2u);
+}
+
+TEST(EditJournalTest, JournalOverflowReportsUncovered) {
+  auto nl = test::make_small_comb();
+  const NetId y = nl->find_net("y");
+  const CellId g2 = nl->find_cell("g2");
+  const std::uint64_t v0 = nl->version();
+
+  // Far beyond the bounded journal cap (8192 records).
+  for (int i = 0; i < 6000; ++i) {
+    nl->disconnect(g2, 1);
+    nl->connect(g2, 1, y);
+  }
+  std::vector<NetId> changed;
+  EXPECT_FALSE(nl->nets_changed_since(v0, changed));  // window truncated
+  ASSERT_TRUE(nl->nets_changed_since(nl->version() - 10, changed));
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0], y);
+}
+
+TEST(EditJournalTest, ScanReplacementIsViewInvariant) {
+  auto nl = test::make_shift_register();
+  const std::uint64_t sv_app = nl->structure_version(SeqView::kApplication);
+  const std::uint64_t cv_app = nl->comb_version(SeqView::kApplication);
+  const std::uint64_t cv_cap = nl->comb_version(SeqView::kCapture);
+
+  // DFF -> SDFF carries D/CK/Q by name; both specs are non-TSFF sequential
+  // boundaries, so no derived view changes.
+  nl->replace_spec(nl->find_cell("f0"), lib().by_name("SDFF_X1"));
+  EXPECT_EQ(nl->structure_version(SeqView::kApplication), sv_app);
+  EXPECT_EQ(nl->comb_version(SeqView::kApplication), cv_app);
+  EXPECT_EQ(nl->comb_version(SeqView::kCapture), cv_cap);
+}
+
+TEST(EditJournalTest, TsffCountMaintainedByMutators) {
+  auto nl = test::make_shift_register();
+  EXPECT_EQ(nl->num_tsff_cells(), 0);
+  const CellSpec* tsff = lib().by_name("TSFF_X1");
+  const CellId tp = nl->add_cell(tsff, "tp0");
+  EXPECT_EQ(nl->num_tsff_cells(), 1);
+  nl->replace_spec(tp, lib().by_name("SDFF_X1"));
+  EXPECT_EQ(nl->num_tsff_cells(), 0);
+}
+
+// ---- DesignDB: view caching ----
+
+TEST(DesignDbTest, ViewIdentityStableAcrossReadOnlyCalls) {
+  auto nl = test::make_shift_register();
+  DesignDB db(*nl);
+
+  const TopoOrder* topo = &db.topo(SeqView::kCapture);
+  const CombModel* model = &db.comb_model(SeqView::kCapture);
+  const TestabilityResult* t = &db.testability(SeqView::kCapture);
+  const auto after_build = db.counters();
+
+  EXPECT_EQ(&db.topo(SeqView::kCapture), topo);
+  EXPECT_EQ(&db.comb_model(SeqView::kCapture), model);
+  EXPECT_EQ(&db.testability(SeqView::kCapture), t);
+
+  const auto c = db.counters();
+  EXPECT_EQ(c.rebuilds, after_build.rebuilds);  // no extra construction
+  // 4 hits: topo, comb, then testability resolves comb (hit) + its own.
+  EXPECT_EQ(c.view_hits, after_build.view_hits + 4);
+}
+
+TEST(DesignDbTest, TopoSlotsAliasedWithoutTsffs) {
+  auto nl = test::make_shift_register();
+  DesignDB db(*nl);
+  // No TSFFs: both views levelize to the same order and share one slot.
+  EXPECT_EQ(&db.topo(SeqView::kApplication), &db.topo(SeqView::kCapture));
+  EXPECT_EQ(db.counters().topo_rebuilds, 1u);
+
+  // A TSFF splits the views (transparent in application, boundary in
+  // capture): the aliasing decision is re-taken per access.
+  nl->add_cell(lib().by_name("TSFF_X1"), "tp0");
+  EXPECT_NE(&db.topo(SeqView::kApplication), &db.topo(SeqView::kCapture));
+}
+
+TEST(DesignDbTest, TopoRefreshAfterEcoLikeEditsMatchesFreshLevelize) {
+  auto nl = test::make_shift_register();
+  DesignDB db(*nl);
+  const TopoOrder* cached = &db.topo(SeqView::kApplication);
+  const auto before = db.counters();
+
+  // The ECO edits of flow stage 4: clock buffers spliced into clock nets
+  // and fillers dropped into row gaps. None of them enters the comb graph.
+  const CellSpec* clkbuf = lib().by_name("CLKBUF_X2");
+  const CellSpec* filler = lib().by_name("FILL1");
+  const NetId clk = nl->pi_net(0);
+  const CellId cb = nl->add_cell(clkbuf, "ctsbuf0");
+  const NetId clk_leaf = nl->add_net("clk_leaf");
+  nl->connect(cb, 0, clk);
+  nl->connect(cb, clkbuf->output_pin, clk_leaf);
+  const CellId f0 = nl->find_cell("f0");
+  const int ck_pin = nl->cell(f0).spec->clock_pin;
+  nl->disconnect(f0, ck_pin);
+  nl->connect(f0, ck_pin, clk_leaf);
+  nl->add_cell(filler, "fill0");
+
+  const TopoOrder& refreshed = db.topo(SeqView::kApplication);
+  EXPECT_EQ(&refreshed, cached);  // refreshed in place, not rebuilt
+  const auto after = db.counters();
+  EXPECT_EQ(after.topo_rebuilds, before.topo_rebuilds);
+  EXPECT_GT(after.view_refreshes, before.view_refreshes);
+
+  const TopoOrder fresh = levelize(*nl, SeqView::kApplication);
+  EXPECT_EQ(refreshed.order, fresh.order);
+  EXPECT_EQ(refreshed.level, fresh.level);
+}
+
+TEST(DesignDbTest, CombModelRefreshAfterScanReplacement) {
+  auto nl = test::make_shift_register();
+  DesignDB db(*nl);
+  const CombModel* cached = &db.comb_model(SeqView::kCapture);
+  const auto before = db.counters();
+
+  nl->replace_spec(nl->find_cell("f0"), lib().by_name("SDFF_X1"));
+  nl->replace_spec(nl->find_cell("f1"), lib().by_name("SDFF_X1"));
+
+  EXPECT_EQ(&db.comb_model(SeqView::kCapture), cached);
+  const auto after = db.counters();
+  EXPECT_EQ(after.comb_rebuilds, before.comb_rebuilds);
+  EXPECT_GT(after.view_refreshes, before.view_refreshes);
+}
+
+TEST(DesignDbTest, TestabilityRefreshMatchesFreshAnalysis) {
+  auto nl = test::make_small_comb();
+  DesignDB db(*nl);
+  const TestabilityResult* cached = &db.testability(SeqView::kCapture);
+  const auto before = db.counters();
+
+  // Topo/comb-invariant growth: a filler cell and a not-yet-connected net.
+  nl->add_cell(lib().by_name("FILL1"), "fill0");
+  nl->add_net("spare");
+
+  const TestabilityResult& t = db.testability(SeqView::kCapture);
+  EXPECT_EQ(&t, cached);
+  EXPECT_EQ(db.counters().testability_rebuilds, before.testability_rebuilds);
+
+  CombModel fresh_model(*nl, SeqView::kCapture);
+  const TestabilityResult fresh = analyze_testability(fresh_model);
+  EXPECT_EQ(t.cc0, fresh.cc0);
+  EXPECT_EQ(t.cc1, fresh.cc1);
+  EXPECT_EQ(t.co, fresh.co);
+  EXPECT_EQ(t.p1, fresh.p1);
+  EXPECT_EQ(t.obs, fresh.obs);
+  EXPECT_EQ(t.ffr_root, fresh.ffr_root);
+  EXPECT_EQ(t.ffr_size, fresh.ffr_size);
+}
+
+TEST(DesignDbTest, StaleViewNeverServedAfterStructuralEdit) {
+  auto nl = test::make_small_comb();
+  DesignDB db(*nl);
+  const auto order_size = db.topo(SeqView::kCapture).order.size();
+
+  // A real structural edit: split net z with a buffer.
+  const CellSpec* buf = lib().gate(CellFunc::kBuf, 1);
+  const CellId b = nl->add_cell(buf, "b");
+  nl->insert_cell_in_net(nl->find_net("z"), b, buf->find_pin("A"));
+
+  const TopoOrder& rebuilt = db.topo(SeqView::kCapture);
+  EXPECT_EQ(rebuilt.order.size(), order_size + 1);
+  const TopoOrder fresh = levelize(*nl, SeqView::kCapture);
+  EXPECT_EQ(rebuilt.order, fresh.order);
+  EXPECT_EQ(rebuilt.level, fresh.level);
+}
+
+// Read-only view access is mutex-serialised: concurrent readers (the sweep
+// pool pattern) must be race-free under TSan, including the cold build.
+TEST(DesignDbTest, ConcurrentReadOnlyViewAccess) {
+  auto nl = generate_circuit(lib(), test::tiny_profile());
+  DesignDB db(*nl);
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&db] {
+      for (int i = 0; i < 50; ++i) {
+        const TopoOrder& topo = db.topo(SeqView::kApplication);
+        const CombModel& model = db.comb_model(SeqView::kCapture);
+        const TestabilityResult& t = db.testability(SeqView::kCapture);
+        ASSERT_FALSE(topo.order.empty());
+        ASSERT_EQ(t.p1.size(), model.num_nets());
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const auto c = db.counters();
+  EXPECT_EQ(c.topo_rebuilds, 1u);  // aliased slot, built once
+  EXPECT_EQ(c.comb_rebuilds, 1u);
+  EXPECT_EQ(c.testability_rebuilds, 1u);
+}
+
+// ---- TPI over the DB ----
+
+TEST(DesignDbTest, TpiReportsNetsChangedPerRound) {
+  auto nl = generate_circuit(lib(), test::tiny_profile());
+  DesignDB db(*nl);
+  TpiOptions opts;
+  opts.num_test_points = 4;
+  opts.rounds = 2;
+  const TpiReport report = insert_test_points(db, opts);
+  ASSERT_EQ(report.test_points.size(), 4u);
+  ASSERT_EQ(report.nets_changed_per_round.size(),
+            static_cast<std::size_t>(report.rounds_run));
+  for (const int n : report.nets_changed_per_round) {
+    // Each inserted TSFF touches at least its site and the fresh net.
+    EXPECT_GE(n, 2);
+  }
+}
+
+// ---- flow-level construction savings (the tentpole's acceptance bar) ----
+
+// Default run_flow at 1% TP on the tiny profile (0 test points, so no
+// TSFFs). Before the DesignDB refactor the flow built 4 topo/comb
+// structures: ATPG's CombModel + its internal levelize, then two levelize
+// calls inside run_sta. With the DB, stage 3 rebuilds one TopoOrder + one
+// CombModel and post-ECO STA refreshes the aliased order: 2 constructions,
+// a 50% cut (the ISSUE asks for >= 30%).
+TEST(DesignDbFlowTest, FlowReusesViewsAcrossStages) {
+  FlowOptions opts;
+  opts.tp_percent = 1.0;
+  FlowEngine engine(lib(), test::tiny_profile(), opts);
+  const FlowResult& res = engine.run(StageMask::all());
+
+  const MetricValue* topo = res.metrics.find("designdb.rebuilds.topo");
+  const MetricValue* comb = res.metrics.find("designdb.rebuilds.comb");
+  const MetricValue* refreshes = res.metrics.find("designdb.view_refreshes");
+  ASSERT_NE(topo, nullptr);
+  ASSERT_NE(comb, nullptr);
+  ASSERT_NE(refreshes, nullptr);
+  EXPECT_EQ(topo->count + comb->count, 2u);  // pre-refactor: 4
+  EXPECT_GE(refreshes->count, 1u);           // STA refreshed ATPG's order
+  // The engine-owned DB agrees with the metrics snapshot.
+  EXPECT_EQ(engine.design_db().counters().topo_rebuilds, topo->count);
+}
+
+}  // namespace
+}  // namespace tpi
