@@ -11,9 +11,13 @@
 #include "layout/routing.hpp"
 #include "netlist/design_db.hpp"
 #include "scan/scan.hpp"
+#include "sim/seq_sim.hpp"
 #include "sta/sta.hpp"
+#include "tpi/tpi.hpp"
 #include "util/rng.hpp"
 #include "util/trace.hpp"
+#include "verify/equiv.hpp"
+#include "verify/miter.hpp"
 
 namespace {
 
@@ -219,6 +223,56 @@ void BM_StaFullPass(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StaFullPass)->Unit(benchmark::kMillisecond);
+
+// Verification kernels: the miter's cost is two circuit copies plus the
+// XOR/OR reduction, stepped 64 lanes at a time; the bounded unroll is the
+// expensive engine of EquivChecker (paired random initial states).
+const Netlist& miter_netlist() {
+  static const std::unique_ptr<Netlist> m = [] {
+    auto golden = generate_circuit(lib(), micro_profile());
+    Netlist mutant = *golden;
+    {
+      DesignDB db(mutant);
+      TpiOptions tpi;
+      tpi.num_test_points = 10;
+      insert_test_points(db, tpi);
+    }
+    ScanOptions so;
+    so.max_chain_length = 100;
+    insert_scan(mutant, so);
+    stitch_chains(mutant, plan_chains(mutant, so, {}));
+    MiterResult res = build_miter(*golden, mutant);
+    return std::move(res.netlist);
+  }();
+  return *m;
+}
+
+void BM_MiterSim(benchmark::State& state) {
+  SequentialSim sim(miter_netlist());
+  Rng rng(0xB17E);
+  std::vector<Word> pi(sim.model().num_pi_inputs());
+  std::vector<Word> po;
+  for (auto _ : state) {
+    for (Word& w : pi) w = rng.next_u64();
+    sim.step(pi, po);
+    benchmark::DoNotOptimize(po.data());
+  }
+}
+BENCHMARK(BM_MiterSim)->Unit(benchmark::kMicrosecond);
+
+void BM_BoundedUnroll(benchmark::State& state) {
+  EquivOptions opts;
+  opts.random_rounds = 0;  // isolate the unroll engine
+  opts.unroll_rounds = 1;
+  opts.unroll_frames = 8;
+  opts.ternary_frames = 0;
+  EquivChecker checker(miter_netlist(), opts);
+  for (auto _ : state) {
+    const EquivResult res = checker.check();
+    benchmark::DoNotOptimize(res.frames_simulated);
+  }
+}
+BENCHMARK(BM_BoundedUnroll)->Unit(benchmark::kMillisecond);
 
 // Observability overhead guards: a disabled span must cost about one
 // branch (< 5 ns), an enabled one a couple of clock reads plus a

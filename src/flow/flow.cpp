@@ -7,6 +7,8 @@
 #include "layout/placement.hpp"
 #include "util/log.hpp"
 #include "util/trace.hpp"
+#include "verify/miter.hpp"
+#include "verify/replay.hpp"
 
 namespace tpi {
 namespace {
@@ -63,12 +65,14 @@ StageMask stage_mask_from(const FlowOptions& opts) {
   StageMask mask = StageMask::all();
   if (!opts.run_atpg) mask = mask.without(Stage::kReorderAtpg);
   if (!opts.run_sta) mask = mask.without(Stage::kExtract).without(Stage::kSta);
+  if (opts.verify) mask = mask.with(Stage::kVerify);
   return mask;
 }
 
 FlowEngine::FlowEngine(Netlist& nl, const CircuitProfile& profile, const FlowOptions& opts)
     : nl_(&nl), profile_(profile), opts_(opts) {
   db_.emplace(*nl_);
+  if (opts_.verify) golden_ = std::make_unique<Netlist>(*nl_);
   res_.circuit = profile_.name;
   scan_opts_.max_chain_length = profile_.max_chain_length;
   scan_opts_.max_chains = profile_.max_chains;
@@ -79,6 +83,7 @@ FlowEngine::FlowEngine(const CellLibrary& lib, const CircuitProfile& profile,
     : owned_nl_(generate_circuit(lib, profile)), nl_(owned_nl_.get()), profile_(profile),
       opts_(opts) {
   db_.emplace(*nl_);
+  if (opts_.verify) golden_ = std::make_unique<Netlist>(*nl_);
   res_.circuit = profile_.name;
   scan_opts_.max_chain_length = profile_.max_chain_length;
   scan_opts_.max_chains = profile_.max_chains;
@@ -98,6 +103,8 @@ bool FlowEngine::prerequisites_ok(Stage stage) const {
       return routes_.has_value();
     case Stage::kSta:
       return extraction_.has_value();
+    case Stage::kVerify:
+      return golden_ != nullptr;  // requires FlowOptions::verify's snapshot
   }
   return false;
 }
@@ -135,6 +142,7 @@ bool FlowEngine::run_stage(Stage stage) {
       case Stage::kEco: do_eco(); break;
       case Stage::kExtract: do_extract(); break;
       case Stage::kSta: do_sta(); break;
+      case Stage::kVerify: do_verify(); break;
     }
     metrics_.add("flow.stages_run");
     metrics_.set_max("rt.flow.peak_rss_kb", peak_rss_kb());
@@ -280,6 +288,54 @@ void FlowEngine::do_extract() { extraction_ = extract(*nl_, *routes_); }
 
 // ---- stage 6: static timing analysis ----
 void FlowEngine::do_sta() { res_.sta = run_sta(*db_, *extraction_); }
+
+// ---- stage 7 (opt-in): equivalence check + pattern replay ----
+//
+// The verify.* metrics carry no "rt." prefix: checking and replay are
+// single-threaded and seed-deterministic, so they are part of the sweep
+// JSON determinism contract (bit-identical at any jobs setting).
+void FlowEngine::do_verify() {
+  VerifySummary& v = res_.verify;
+  v.ran = true;
+
+  const MiterResult m = build_miter(*golden_, *nl_);
+  if (!m.ok()) {
+    v.error = m.error;
+    v.equivalent = false;
+    log_warn() << res_.circuit << " verify: " << m.error;
+    return;
+  }
+  v.matched_pos = m.matched_pos;
+  EquivChecker checker(*m.netlist, opts_.verify_equiv);
+  const EquivResult equiv = checker.check();
+  v.equivalent = equiv.equivalent;
+  v.proven_x_init = equiv.proven_x_init;
+  v.frames_simulated = equiv.frames_simulated;
+  v.cex = equiv.cex;
+  metrics().add("verify.miter.matched_pos", static_cast<std::uint64_t>(m.matched_pos));
+  metrics().add("verify.equiv.frames", static_cast<std::uint64_t>(equiv.frames_simulated));
+  metrics().add("verify.equiv.mismatches", equiv.equivalent ? 0u : 1u);
+  if (!equiv.equivalent) {
+    log_warn() << res_.circuit << " verify: MISMATCH vs pre-transform netlist ("
+               << equiv.cex.source << ", fail frame " << equiv.cex.fail_frame << ")";
+  }
+
+  if (ran_[static_cast<std::size_t>(Stage::kReorderAtpg)] && !res_.atpg.patterns.empty()) {
+    const ReplayReport replay = replay_patterns(db_->comb_model(SeqView::kCapture), res_.atpg);
+    v.replay_ran = true;
+    v.replay_claimed = replay.claimed;
+    v.replay_confirmed = replay.confirmed;
+    v.replay_ok = replay.ok();
+    metrics().add("verify.replay.checked", static_cast<std::uint64_t>(replay.claimed));
+    metrics().add("verify.replay.confirmed", static_cast<std::uint64_t>(replay.confirmed));
+    metrics().add("verify.replay.failures",
+                  static_cast<std::uint64_t>(replay.failures.size()));
+    if (!replay.ok()) {
+      log_warn() << res_.circuit << " verify: " << replay.failures.size()
+                 << " claimed fault detections did not replay";
+    }
+  }
+}
 
 FlowResult run_flow(const CellLibrary& lib, const CircuitProfile& profile,
                     const FlowOptions& opts) {

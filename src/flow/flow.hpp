@@ -34,6 +34,7 @@
 #include "sta/sta.hpp"
 #include "tpi/tpi.hpp"
 #include "util/metrics.hpp"
+#include "verify/equiv.hpp"
 
 namespace tpi {
 
@@ -54,12 +55,39 @@ struct FlowOptions {
   bool run_sta = true;
   AtpgOptions atpg;
   std::uint64_t seed = 0xF10F;
+
+  /// Opt-in verify stage: snapshot the pre-transform netlist, and after the
+  /// flow check mission-mode equivalence (miter + EquivChecker) and replay
+  /// the ATPG pattern set against every claimed fault detection.
+  bool verify = false;
+  EquivOptions verify_equiv;
 };
 
 /// StageMask equivalent of the deprecated run_atpg / run_sta booleans:
 /// all stages, minus reorder_atpg when !run_atpg, minus extract+sta when
-/// !run_sta.
+/// !run_sta, plus verify when opts.verify.
 StageMask stage_mask_from(const FlowOptions& opts);
+
+/// Result of the opt-in verify stage (see FlowOptions::verify).
+struct VerifySummary {
+  bool ran = false;
+  /// Mission-mode equivalence of the final netlist vs the pre-transform
+  /// snapshot; trustworthy only when `error` is empty.
+  bool equivalent = true;
+  bool proven_x_init = false;  ///< ternary pass proved X-initial silence
+  int matched_pos = 0;         ///< functional PO pairs in the miter
+  std::int64_t frames_simulated = 0;
+  CexTrace cex;  ///< shrunk counterexample when !equivalent
+
+  bool replay_ran = false;  ///< false when ATPG was masked off / no patterns
+  std::int64_t replay_claimed = 0;
+  std::int64_t replay_confirmed = 0;
+  bool replay_ok = true;
+
+  std::string error;  ///< miter construction failure (no common POs, ...)
+
+  bool ok() const { return ran && error.empty() && equivalent && replay_ok; }
+};
 
 struct FlowResult {
   std::string circuit;
@@ -96,6 +124,7 @@ struct FlowResult {
   int clock_buffers = 0;
   double scan_wire_length_um = 0.0;
   AtpgResult atpg;
+  VerifySummary verify;  ///< populated by the opt-in verify stage
 
   // ---- instrumentation ----
   StageTimings timings;    ///< per-stage wall clock for this run
@@ -155,6 +184,7 @@ class FlowEngine {
   void do_eco();
   void do_extract();
   void do_sta();
+  void do_verify();
   /// Chain planning + stitch + control-net buffering: the structural part
   /// of stage 3, needed by eco even when ATPG is masked off.
   void stitch_scan_chains();
@@ -163,6 +193,8 @@ class FlowEngine {
 
   std::unique_ptr<Netlist> owned_nl_;  ///< set by the generating constructor
   Netlist* nl_;
+  /// Pre-transform snapshot for the verify stage (null unless opts.verify).
+  std::unique_ptr<Netlist> golden_;
   std::optional<DesignDB> db_;  ///< wraps *nl_, set in the constructors
   CircuitProfile profile_;
   FlowOptions opts_;

@@ -14,7 +14,9 @@ namespace tpi {
 
 struct FlowResult;  // flow.hpp
 
-/// The six stages of the paper's tool flow, in execution order.
+/// The six stages of the paper's tool flow, in execution order, plus the
+/// optional post-flow verification stage (miter-based equivalence against
+/// the pre-transform netlist + ATPG pattern replay).
 enum class Stage : std::uint8_t {
   kTpiScan = 0,         ///< 1. TPI & scan insertion
   kFloorplanPlace = 1,  ///< 2. floorplanning & placement
@@ -22,14 +24,18 @@ enum class Stage : std::uint8_t {
   kEco = 3,             ///< 4. ECO: clock trees, fillers, routing
   kExtract = 4,         ///< 5. layout extraction
   kSta = 5,             ///< 6. static timing analysis
+  kVerify = 6,          ///< 7. (opt-in) equivalence check + pattern replay
 };
 
-inline constexpr int kNumStages = 6;
+/// The paper's Fig. 2 stages; StageMask::all() covers exactly these.
+inline constexpr int kNumFlowStages = 6;
+/// All stages including the opt-in verify stage (array sizes, loops).
+inline constexpr int kNumStages = 7;
 
 /// All stages in execution order (for range-for loops).
 inline constexpr std::array<Stage, kNumStages> kAllStages = {
-    Stage::kTpiScan, Stage::kFloorplanPlace, Stage::kReorderAtpg,
-    Stage::kEco,     Stage::kExtract,        Stage::kSta,
+    Stage::kTpiScan, Stage::kFloorplanPlace, Stage::kReorderAtpg, Stage::kEco,
+    Stage::kExtract, Stage::kSta,            Stage::kVerify,
 };
 
 /// Stable snake_case stage name, also used as the JSON key in sweep reports.
@@ -41,6 +47,7 @@ constexpr const char* stage_name(Stage s) {
     case Stage::kEco: return "eco";
     case Stage::kExtract: return "extract";
     case Stage::kSta: return "sta";
+    case Stage::kVerify: return "verify";
   }
   return "?";
 }
@@ -60,7 +67,9 @@ class StageMask {
  public:
   constexpr StageMask() = default;
 
-  static constexpr StageMask all() { return StageMask((1u << kNumStages) - 1u); }
+  /// The six paper stages. The verify stage is opt-in: add it explicitly
+  /// with .with(Stage::kVerify) or via FlowOptions::verify.
+  static constexpr StageMask all() { return StageMask((1u << kNumFlowStages) - 1u); }
   static constexpr StageMask none() { return StageMask(0); }
   /// Stages kTpiScan..s inclusive — the "run the flow up to here" mask.
   static constexpr StageMask through(Stage s) {

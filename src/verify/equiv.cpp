@@ -1,0 +1,272 @@
+#include "verify/equiv.hpp"
+
+#include <bit>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/seq_sim.hpp"
+#include "sim/ternary.hpp"
+#include "util/rng.hpp"
+
+namespace tpi {
+namespace {
+
+/// splitmix64 finalizer — derives independent round seeds from (seed, salt)
+/// so adding rounds never perturbs the streams of earlier ones.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Single-lane replay of a trace; returns the first frame where any real PO
+/// of the model fires (for a miter: miter_out), or -1.
+int fail_frame_of(const CombModel& model, const CexTrace& cex) {
+  SequentialSim sim(model);
+  if (!cex.initial_state.empty()) {
+    std::vector<Word> st(model.boundary_ffs().size(), 0);
+    for (std::size_t i = 0; i < st.size() && i < cex.initial_state.size(); ++i) {
+      st[i] = cex.initial_state[i] ? ~Word{0} : Word{0};
+    }
+    sim.set_state(st);
+  }
+  std::vector<Word> pi(model.num_pi_inputs(), 0);
+  std::vector<Word> po;
+  for (std::size_t f = 0; f < cex.pi_frames.size(); ++f) {
+    const auto& bits = cex.pi_frames[f];
+    for (std::size_t i = 0; i < pi.size(); ++i) {
+      pi[i] = (i < bits.size() && bits[i] != 0) ? ~Word{0} : Word{0};
+    }
+    sim.step(pi, po);
+    Word out = 0;
+    for (const Word w : po) out |= w;
+    if (out != 0) return static_cast<int>(f);
+  }
+  return -1;
+}
+
+}  // namespace
+
+EquivChecker::EquivChecker(const Netlist& miter, const EquivOptions& opts)
+    : nl_(&miter), opts_(opts), model_(miter, SeqView::kApplication) {
+  // Pair boundary FFs across the two miter sides by base name: "a.f3" and
+  // "b.f3" are the same mission-mode register and must agree on the random
+  // initial value in the unroll engine, or a state the design could never
+  // hold would raise false alarms.
+  const auto& ffs = model_.boundary_ffs();
+  state_pair_.assign(ffs.size(), -1);
+  const auto is_prefixed = [](const std::string& name) {
+    return name.size() >= 2 && name[1] == '.' && (name[0] == 'a' || name[0] == 'b');
+  };
+  // Pass 1 keys on the cell name; pass 2 retries the leftovers with the Q
+  // net name, which survives transforms that rename cells (e.g. a .bench
+  // round trip, whose reader regenerates cell names but keeps net names).
+  for (const bool use_net_name : {false, true}) {
+    std::unordered_map<std::string, int> by_base;
+    by_base.reserve(ffs.size());
+    for (std::size_t i = 0; i < ffs.size(); ++i) {
+      if (state_pair_[i] >= 0) continue;
+      const CellInst& ff = miter.cell(ffs[i]);
+      if (use_net_name && ff.output_net() == kNoNet) continue;
+      const std::string& name =
+          use_net_name ? miter.net(ff.output_net()).name : ff.name;
+      if (!is_prefixed(name)) continue;
+      const auto [it, inserted] = by_base.emplace(name.substr(2), static_cast<int>(i));
+      if (!inserted && state_pair_[static_cast<std::size_t>(it->second)] < 0) {
+        state_pair_[i] = it->second;
+        state_pair_[static_cast<std::size_t>(it->second)] = static_cast<int>(i);
+      }
+    }
+  }
+}
+
+EquivResult EquivChecker::check() {
+  EquivResult res;
+  CexTrace cex;
+  bool found = false;
+  for (int r = 0; !found && r < opts_.random_rounds; ++r) {
+    found = sim_round(mix_seed(opts_.seed, 0x1000u + static_cast<unsigned>(r)),
+                      opts_.frames_per_round, /*random_init=*/false, "random", &cex,
+                      &res.frames_simulated);
+  }
+  for (int r = 0; !found && r < opts_.unroll_rounds; ++r) {
+    found = sim_round(mix_seed(opts_.seed, 0x2000u + static_cast<unsigned>(r)),
+                      opts_.unroll_frames, /*random_init=*/true, "unroll", &cex,
+                      &res.frames_simulated);
+  }
+  if (!found && opts_.ternary_frames > 0) {
+    bool proven = false;
+    found = ternary_round(mix_seed(opts_.seed, 0x3000u), opts_.ternary_frames, &proven, &cex,
+                          &res.frames_simulated);
+    res.proven_x_init = proven;
+  }
+  if (found) {
+    res.equivalent = false;
+    res.proven_x_init = false;
+    res.cex = opts_.shrink ? shrink_trace(cex) : cex;
+  }
+  return res;
+}
+
+bool EquivChecker::replay(const CexTrace& cex) const { return fail_frame_of(model_, cex) >= 0; }
+
+bool EquivChecker::sim_round(std::uint64_t round_seed, int frames, bool random_init,
+                             const char* source, CexTrace* cex,
+                             std::int64_t* frames_simulated) const {
+  Rng rng(round_seed);
+  SequentialSim sim(model_);
+  std::vector<Word> init_words;
+  if (random_init) {
+    init_words.resize(model_.boundary_ffs().size());
+    for (std::size_t i = 0; i < init_words.size(); ++i) {
+      const int pair = state_pair_[i];
+      if (pair >= 0 && pair < static_cast<int>(i)) {
+        init_words[i] = init_words[static_cast<std::size_t>(pair)];
+      } else {
+        init_words[i] = rng.next_u64();
+      }
+    }
+    sim.set_state(init_words);
+  }
+  std::vector<std::vector<Word>> pi_history;
+  std::vector<Word> pi_words(model_.num_pi_inputs());
+  std::vector<Word> po_words;
+  for (int f = 0; f < frames; ++f) {
+    for (Word& w : pi_words) w = rng.next_u64();
+    pi_history.push_back(pi_words);
+    sim.step(pi_words, po_words);
+    ++*frames_simulated;
+    Word fail = 0;
+    for (const Word w : po_words) fail |= w;
+    if (fail == 0) continue;
+    const int lane = std::countr_zero(fail);
+    cex->source = source;
+    cex->fail_frame = f;
+    cex->pi_frames.clear();
+    for (const auto& frame : pi_history) {
+      std::vector<std::uint8_t> bits(frame.size());
+      for (std::size_t i = 0; i < frame.size(); ++i) {
+        bits[i] = static_cast<std::uint8_t>((frame[i] >> lane) & 1u);
+      }
+      cex->pi_frames.push_back(std::move(bits));
+    }
+    cex->initial_state.clear();
+    if (random_init) {
+      cex->initial_state.resize(init_words.size());
+      for (std::size_t i = 0; i < init_words.size(); ++i) {
+        cex->initial_state[i] = static_cast<std::uint8_t>((init_words[i] >> lane) & 1u);
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+bool EquivChecker::ternary_round(std::uint64_t round_seed, int frames, bool* proven,
+                                 CexTrace* cex, std::int64_t* frames_simulated) const {
+  Rng rng(round_seed);
+  std::vector<Tern> value(model_.num_nets(), Tern::kX);
+  std::vector<Tern> state(model_.boundary_ffs().size(), Tern::kX);
+  const auto& inputs = model_.input_nets();
+  const auto& observes = model_.observe_nets();
+  std::vector<std::vector<std::uint8_t>> pi_history;
+  bool all_zero = true;
+  for (int f = 0; f < frames; ++f) {
+    for (const NetId n : model_.const0_nets()) value[static_cast<std::size_t>(n)] = Tern::k0;
+    for (const NetId n : model_.const1_nets()) value[static_cast<std::size_t>(n)] = Tern::k1;
+    std::vector<std::uint8_t> bits(model_.num_pi_inputs());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      bits[i] = rng.next_bool() ? 1 : 0;
+      value[static_cast<std::size_t>(inputs[i])] = bits[i] != 0 ? Tern::k1 : Tern::k0;
+    }
+    pi_history.push_back(std::move(bits));
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      value[static_cast<std::size_t>(inputs[model_.num_pi_inputs() + i])] = state[i];
+    }
+    for (const CombNode& node : model_.nodes()) {
+      Tern in[4] = {Tern::kX, Tern::kX, Tern::kX, Tern::kX};
+      for (int k = 0; k < node.num_inputs; ++k) {
+        in[k] = value[static_cast<std::size_t>(node.in[k])];
+      }
+      const Tern sel =
+          node.sel == kNoNet ? Tern::kX : value[static_cast<std::size_t>(node.sel)];
+      value[static_cast<std::size_t>(node.out)] = eval_node_tern(node, in, sel);
+    }
+    ++*frames_simulated;
+    Tern out = Tern::k0;
+    for (std::size_t i = 0; i < model_.num_po_observes(); ++i) {
+      out = tern_or(out, value[static_cast<std::size_t>(observes[i])]);
+    }
+    if (out == Tern::k1) {
+      // A definite 1 under an all-X state fires under EVERY initial state,
+      // so the trace is valid from reset too — initial_state stays empty.
+      cex->source = "ternary";
+      cex->fail_frame = f;
+      cex->pi_frames = std::move(pi_history);
+      cex->initial_state.clear();
+      return true;
+    }
+    if (out != Tern::k0) all_zero = false;
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      state[i] = value[static_cast<std::size_t>(observes[model_.num_po_observes() + i])];
+    }
+  }
+  *proven = all_zero;
+  return false;
+}
+
+CexTrace EquivChecker::shrink_trace(const CexTrace& cex) const {
+  CexTrace best = cex;
+  int ff = fail_frame_of(model_, best);
+  if (ff < 0) return best;  // not reproducible single-lane; return untouched
+  best.pi_frames.resize(static_cast<std::size_t>(ff) + 1);
+  best.fail_frame = ff;
+
+  // Greedy frame dropping (ddmin-lite, granularity 1): keep removing any
+  // single frame whose absence preserves the mismatch.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < best.pi_frames.size(); ++i) {
+      CexTrace t = best;
+      t.pi_frames.erase(t.pi_frames.begin() + static_cast<std::ptrdiff_t>(i));
+      const int f = fail_frame_of(model_, t);
+      if (f < 0) continue;
+      t.pi_frames.resize(static_cast<std::size_t>(f) + 1);
+      t.fail_frame = f;
+      best = std::move(t);
+      changed = true;
+      break;
+    }
+  }
+
+  // Clear set initial-state bits, then set PI bits, to 0.
+  auto try_clear = [&](std::uint8_t& bit) {
+    if (bit == 0) return;
+    CexTrace t = best;
+    bit = 0;  // best is mutated through the reference; undo on failure
+    const int f = fail_frame_of(model_, best);
+    if (f < 0) {
+      best = std::move(t);
+      return;
+    }
+    best.pi_frames.resize(static_cast<std::size_t>(f) + 1);
+    best.fail_frame = f;
+  };
+  for (std::size_t i = 0; i < best.initial_state.size(); ++i) try_clear(best.initial_state[i]);
+  bool any_state = false;
+  for (const std::uint8_t b : best.initial_state) any_state |= (b != 0);
+  if (!any_state) best.initial_state.clear();  // all-zero == reset
+  // A successful clear can make the failure fire earlier and shrink the
+  // frame list under us — re-check f against the current size every step.
+  for (std::size_t f = 0; f < best.pi_frames.size(); ++f) {
+    for (std::size_t i = 0; f < best.pi_frames.size() && i < best.pi_frames[f].size(); ++i) {
+      try_clear(best.pi_frames[f][i]);
+    }
+  }
+  return best;
+}
+
+}  // namespace tpi

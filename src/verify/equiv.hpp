@@ -1,0 +1,98 @@
+// Sequential equivalence checking over a miter (BMC-lite).
+//
+// The checker runs three escalating engines over the miter's application
+// view (mission mode — TSFF test points transparent, tied controls at 0):
+//
+//  1. random simulation from the reset state — 64 independent lanes per
+//     round, the cheap bug-finder;
+//  2. bounded time-frame unrolling from *paired* random initial states:
+//     flip-flops that correspond across the two sides (cell "a.X" with
+//     cell "b.X") start from the same random value, so any reachable or
+//     unreachable-but-consistent state is explored. This is the CAR-style
+//     "start anywhere" check that catches state-update bugs random reset
+//     traces need many frames to reach;
+//  3. a ternary (0/1/X) pass with the initial state fully X: if miter_out
+//     stays 0 for a whole random input sequence, the miter is proven
+//     silent on that sequence for EVERY initial state; if it evaluates to
+//     a definite 1, that is a counterexample valid from reset too.
+//
+// A mismatch yields a CexTrace (initial state + per-frame PI vectors) that
+// can be replayed and shrunk: frames are dropped greedily, then set PI and
+// state bits are cleared to 0 while the mismatch persists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/comb_model.hpp"
+
+namespace tpi {
+
+struct EquivOptions {
+  std::uint64_t seed = 0x5EC5;
+  int random_rounds = 4;      ///< 64-lane random rounds from reset
+  int frames_per_round = 16;  ///< clock cycles per random round
+  int unroll_rounds = 2;      ///< rounds from paired random initial states
+  int unroll_frames = 8;      ///< frames per unroll round
+  int ternary_frames = 16;    ///< X-initial-state pass length (0 = off)
+  bool shrink = true;         ///< minimise the counterexample on mismatch
+};
+
+/// Counterexample: apply `pi_frames` from `initial_state` (empty = reset,
+/// all flip-flops 0); the miter output is 1 at some frame <= fail_frame.
+/// PI bits are aligned with the miter model's PI prefix of input_nets();
+/// state bits with its boundary_ffs().
+struct CexTrace {
+  std::vector<std::vector<std::uint8_t>> pi_frames;
+  std::vector<std::uint8_t> initial_state;
+  int fail_frame = -1;
+  std::string source;  ///< engine that found it: "random" | "unroll" | "ternary"
+
+  bool empty() const { return fail_frame < 0; }
+  std::size_t num_frames() const { return pi_frames.size(); }
+};
+
+struct EquivResult {
+  bool equivalent = true;
+  /// True when the ternary pass ran and the miter stayed a definite 0 on
+  /// every frame: silence proven for all initial states on that sequence.
+  bool proven_x_init = false;
+  std::int64_t frames_simulated = 0;  ///< total clock cycles across engines
+  CexTrace cex;                       ///< non-empty iff !equivalent
+};
+
+class EquivChecker {
+ public:
+  /// `miter` must stay alive and unedited for the checker's lifetime.
+  explicit EquivChecker(const Netlist& miter, const EquivOptions& opts = {});
+
+  /// Run the three engines in order; stops at the first mismatch (shrunk
+  /// when opts.shrink). Deterministic in opts.seed.
+  EquivResult check();
+
+  /// Re-simulate a trace; true = the miter output fires (mismatch real).
+  bool replay(const CexTrace& cex) const;
+
+  /// Greedily minimise a failing trace: drop frames, then clear set PI and
+  /// initial-state bits, keeping the mismatch at every step.
+  CexTrace shrink_trace(const CexTrace& cex) const;
+
+  const CombModel& model() const { return model_; }
+
+ private:
+  bool sim_round(std::uint64_t round_seed, int frames, bool random_init, const char* source,
+                 CexTrace* cex, std::int64_t* frames_simulated) const;
+  bool ternary_round(std::uint64_t round_seed, int frames, bool* proven, CexTrace* cex,
+                     std::int64_t* frames_simulated) const;
+
+  const Netlist* nl_;
+  EquivOptions opts_;
+  CombModel model_;
+  /// For each boundary FF: index of its partner on the other side (cell
+  /// name equal up to the "a."/"b." prefix), or -1. Paired FFs share the
+  /// random initial value in the unroll engine.
+  std::vector<int> state_pair_;
+};
+
+}  // namespace tpi

@@ -1,0 +1,64 @@
+// Miter construction for sequential equivalence checking.
+//
+// A miter composes two netlists ("a" = golden, "b" = mutant) into one
+// circuit that shares primary inputs by name and XOR-reduces the matched
+// primary outputs into a single PO "miter_out": any input/state sequence
+// driving miter_out to 1 is a functional counterexample. This is the
+// standard front end of combinational and sequential equivalence checkers
+// (cf. the CAR/BMC model-checking recipe); here it is used in *mission
+// mode* — the application SeqView, where TSFF test points are transparent
+// and scan controls are inert — to prove that the paper's DfT transforms
+// (TPI, scan insertion, chain stitching, control buffering, ECOs) are
+// functionally invisible in the field.
+//
+// PI matching is by name. Inputs that exist on only one side are the DfT
+// controls the transform added (scan_en, tp_te, tp_tr, si<k>): by default
+// they are tied to constant 0, which is exactly the mission-mode setting
+// (TE = TR = 0, scan-in don't-care). POs that exist on only one side
+// (so<k> scan-outs) are left unobserved by default. Both defaults can be
+// disabled to check test-mode equivalence questions instead.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace tpi {
+
+struct MiterOptions {
+  /// Non-clock PIs present on only one side are driven by a TIE0 cell
+  /// (mission mode: added test controls held inactive). When false they
+  /// become free shared PIs of the miter instead. Clock PIs are always
+  /// shared, never tied.
+  bool tie_unmatched_pis_low = true;
+  /// POs present on only one side (scan-outs) are left unobserved. When
+  /// false an unmatched PO is a construction error.
+  bool ignore_unmatched_pos = true;
+  /// Match POs by the name of the net feeding them instead of the port
+  /// name. The .bench format names ports after their nets, so this is the
+  /// key that survives a write -> read round trip.
+  bool match_pos_by_net = false;
+};
+
+struct MiterResult {
+  std::unique_ptr<Netlist> netlist;  ///< null when !ok()
+  std::string error;                 ///< empty on success
+  NetId out_net = kNoNet;            ///< net behind the "miter_out" PO
+  int matched_pos = 0;               ///< PO pairs feeding the XOR reduction
+  int unmatched_pos = 0;             ///< one-sided POs (ignored or error)
+  int shared_pis = 0;                ///< PIs driven from one shared input
+  int tied_pis = 0;                  ///< one-sided PIs tied to constant 0
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Build the miter of `a` and `b` (which must use the same CellLibrary).
+/// Side a's cells and internal nets are cloned under an "a." prefix, side
+/// b's under "b."; PIs are created in a's index order followed by b-only
+/// inputs. The matched POs are XOR-ed pairwise and OR-reduced into the
+/// single primary output "miter_out". Construction is deterministic: the
+/// same inputs always produce a bit-identical miter netlist.
+MiterResult build_miter(const Netlist& a, const Netlist& b, const MiterOptions& opts = {});
+
+}  // namespace tpi

@@ -1,0 +1,118 @@
+#include "verify/replay.hpp"
+
+#include <algorithm>
+
+#include "sim/parallel_sim.hpp"
+
+namespace tpi {
+namespace {
+
+/// Detection word for one fault over one 64-pattern batch, by full-sweep
+/// forced resimulation. Semantics match FaultSimulator::detects(): a stem
+/// forces the site net everywhere; a branch forces it only at the one
+/// reading node of the faulted cell; a branch on a flip-flop D pin (no
+/// logic reader) is captured directly whenever the good value differs.
+Word forced_detect(const ParallelSim& good, const Fault& fault, std::vector<Word>& faulty) {
+  const CombModel& model = good.model();
+  const Word stuck = fault.stuck1 ? ~Word{0} : Word{0};
+  const Word g = good.value(fault.net);
+  if (g == stuck) return 0;  // no pattern in the batch activates the fault
+
+  int branch_reader = -1;
+  if (!fault.is_stem()) {
+    for (const int reader : model.readers_of(fault.net)) {
+      if (model.nodes()[static_cast<std::size_t>(reader)].cell == fault.branch.cell) {
+        branch_reader = reader;
+        break;
+      }
+    }
+    if (branch_reader < 0) {
+      const CellSpec* spec = model.netlist().cell(fault.branch.cell).spec;
+      const bool seq_d = spec->sequential && fault.branch.pin == spec->d_pin;
+      return seq_d ? (g ^ stuck) : 0;
+    }
+  }
+
+  faulty = good.values();
+  if (fault.is_stem()) faulty[static_cast<std::size_t>(fault.net)] = stuck;
+  const auto& nodes = model.nodes();
+  Word in[4];
+  for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+    const CombNode& node = nodes[ni];
+    const bool inject = static_cast<int>(ni) == branch_reader;
+    for (int i = 0; i < node.num_inputs; ++i) {
+      in[i] = (inject && node.in[i] == fault.net)
+                  ? stuck
+                  : faulty[static_cast<std::size_t>(node.in[i])];
+    }
+    Word sel = 0;
+    if (node.sel != kNoNet) {
+      sel = (inject && node.sel == fault.net) ? stuck
+                                              : faulty[static_cast<std::size_t>(node.sel)];
+    }
+    Word out = eval_node_word(node, in, sel);
+    if (fault.is_stem() && node.out == fault.net) out = stuck;  // fault wins at the site
+    if (node.out != kNoNet) faulty[static_cast<std::size_t>(node.out)] = out;
+  }
+
+  Word detect = 0;
+  for (const NetId n : model.observe_nets()) {
+    detect |= faulty[static_cast<std::size_t>(n)] ^ good.value(n);
+  }
+  return detect;
+}
+
+}  // namespace
+
+ReplayReport replay_patterns(const CombModel& capture_model, const FaultList& faults,
+                             const std::vector<TestPattern>& patterns) {
+  ReplayReport report;
+  report.patterns = static_cast<std::int64_t>(patterns.size());
+
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < faults.faults.size(); ++i) {
+    if (faults.faults[i].status == FaultStatus::kDetected) pending.push_back(i);
+  }
+  report.claimed = static_cast<std::int64_t>(pending.size());
+  if (pending.empty()) return report;
+
+  const std::size_t num_inputs = capture_model.input_nets().size();
+  ParallelSim good(capture_model);
+  std::vector<Word> input_words(num_inputs);
+  std::vector<Word> faulty_scratch;
+
+  for (std::size_t base = 0; base < patterns.size() && !pending.empty(); base += kWordBits) {
+    const std::size_t batch = std::min<std::size_t>(kWordBits, patterns.size() - base);
+    // Lanes past the pattern count hold an all-zero phantom input vector;
+    // a detection there must not confirm a claim.
+    const Word lane_mask =
+        batch == static_cast<std::size_t>(kWordBits) ? ~Word{0} : (Word{1} << batch) - 1;
+    std::fill(input_words.begin(), input_words.end(), Word{0});
+    for (std::size_t k = 0; k < batch; ++k) {
+      const auto& bits = patterns[base + k].bits;
+      for (std::size_t i = 0; i < num_inputs && i < bits.size(); ++i) {
+        if (bits[i] != 0) input_words[i] |= Word{1} << k;
+      }
+    }
+    good.load_inputs(input_words);
+    good.run();
+
+    std::size_t w = 0;
+    for (const std::size_t fi : pending) {
+      if ((forced_detect(good, faults.faults[fi], faulty_scratch) & lane_mask) != 0) {
+        continue;  // confirmed
+      }
+      pending[w++] = fi;
+    }
+    pending.resize(w);
+  }
+
+  report.confirmed = report.claimed - static_cast<std::int64_t>(pending.size());
+  for (const std::size_t fi : pending) {
+    const Fault& f = faults.faults[fi];
+    report.failures.push_back({fi, f.net, f.stuck1, f.is_stem()});
+  }
+  return report;
+}
+
+}  // namespace tpi

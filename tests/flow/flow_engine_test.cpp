@@ -66,6 +66,11 @@ TEST(StageMaskTest, LegacyBooleansMapOntoMask) {
                                        .without(Stage::kReorderAtpg)
                                        .without(Stage::kExtract)
                                        .without(Stage::kSta));
+  opts.run_atpg = true;
+  opts.run_sta = true;
+  opts.verify = true;
+  EXPECT_EQ(stage_mask_from(opts), StageMask::all().with(Stage::kVerify));
+  EXPECT_FALSE(StageMask::all().has(Stage::kVerify));  // verify is opt-in
 }
 
 TEST(FlowEngineTest, ObserverSeesAllSixStagesInOrder) {
@@ -76,7 +81,13 @@ TEST(FlowEngineTest, ObserverSeesAllSixStagesInOrder) {
   engine.set_observer(&obs);
   engine.run();
 
-  const std::vector<Stage> expected(kAllStages.begin(), kAllStages.end());
+  // run() defaults to StageMask::all() — the six paper stages; the opt-in
+  // verify stage stays off.
+  std::vector<Stage> expected;
+  for (const Stage s : kAllStages) {
+    if (StageMask::all().has(s)) expected.push_back(s);
+  }
+  EXPECT_EQ(expected.size(), static_cast<std::size_t>(kNumFlowStages));
   EXPECT_EQ(obs.begins, expected);
   EXPECT_EQ(obs.ends, expected);
   for (const double ms : obs.wall_ms) EXPECT_GE(ms, 0.0);
@@ -92,7 +103,7 @@ TEST(FlowEngineTest, RecordsPerStageTimings) {
   FlowEngine engine(lib(), test::tiny_profile(22), opts);
   const FlowResult& r = engine.run();
   for (const Stage s : kAllStages) {
-    EXPECT_TRUE(r.timings.stage_ran(s)) << stage_name(s);
+    EXPECT_EQ(r.timings.stage_ran(s), StageMask::all().has(s)) << stage_name(s);
     EXPECT_GE(r.timings[s], 0.0);
   }
   EXPECT_GT(r.timings.total_ms(), 0.0);
@@ -169,6 +180,47 @@ TEST(FlowEngineTest, TracingObserverCountsStageBoundaries) {
   engine.run();
   EXPECT_EQ(obs.stages_begun(), 6u);
   EXPECT_EQ(obs.stages_ended(), 6u);
+}
+
+// The opt-in verify stage: the default flow's transforms must be mission-
+// mode equivalent to the generated netlist, and every claimed ATPG fault
+// detection must replay.
+TEST(FlowEngineTest, VerifyStageConfirmsFlowAndReplay) {
+  FlowOptions opts;
+  opts.tp_percent = 5.0;
+  opts.verify = true;
+  FlowEngine engine(lib(), test::tiny_profile(30), opts);
+  const FlowResult& r = engine.run(stage_mask_from(opts));
+  EXPECT_TRUE(engine.stage_ran(Stage::kVerify));
+  ASSERT_TRUE(r.verify.ran);
+  EXPECT_TRUE(r.verify.ok()) << r.verify.error;
+  EXPECT_TRUE(r.verify.equivalent);
+  EXPECT_GT(r.verify.matched_pos, 0);
+  EXPECT_GT(r.verify.frames_simulated, 0);
+  EXPECT_TRUE(r.verify.replay_ran);
+  EXPECT_GT(r.verify.replay_claimed, 0);
+  EXPECT_EQ(r.verify.replay_confirmed, r.verify.replay_claimed);
+
+  const MetricValue* stages = r.metrics.find("flow.stages_run");
+  ASSERT_NE(stages, nullptr);
+  EXPECT_EQ(stages->count, 7u);
+  for (const char* name : {"verify.miter.matched_pos", "verify.equiv.frames",
+                           "verify.equiv.mismatches", "verify.replay.checked",
+                           "verify.replay.confirmed", "verify.replay.failures"}) {
+    EXPECT_NE(r.metrics.find(name), nullptr) << name;
+  }
+  const MetricValue* mismatches = r.metrics.find("verify.equiv.mismatches");
+  ASSERT_NE(mismatches, nullptr);
+  EXPECT_EQ(mismatches->count, 0u);
+}
+
+// Without FlowOptions::verify no pre-transform snapshot exists, so the
+// stage must skip instead of diffing the netlist against itself.
+TEST(FlowEngineTest, VerifyStageRequiresSnapshot) {
+  FlowEngine engine(lib(), test::tiny_profile(31), FlowOptions{});
+  EXPECT_TRUE(engine.run_stage(Stage::kTpiScan));
+  EXPECT_FALSE(engine.run_stage(Stage::kVerify));
+  EXPECT_FALSE(engine.result().verify.ran);
 }
 
 // The legacy wrappers and the staged engine must produce bit-identical

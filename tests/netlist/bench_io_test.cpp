@@ -3,6 +3,12 @@
 #include <gtest/gtest.h>
 
 #include "../common/test_circuits.hpp"
+#include "circuits/generator.hpp"
+#include "netlist/design_db.hpp"
+#include "scan/scan.hpp"
+#include "tpi/tpi.hpp"
+#include "verify/equiv.hpp"
+#include "verify/miter.hpp"
 
 namespace tpi {
 namespace {
@@ -115,6 +121,47 @@ TEST(BenchIoTest, ScanCellsRoundTripWithExtendedDialect) {
   const BenchReadResult back = read_bench_string(text, lib(), "t");
   ASSERT_TRUE(back.ok()) << back.error;
   EXPECT_EQ(back.netlist->test_points().size(), 1u);
+}
+
+// A DfT-modified netlist (TSFF test points, scan cells, stitched chains)
+// must survive write -> parse with its structure intact AND stay
+// mission-mode equivalent to the original — the extended dialect carries
+// real semantics, not just tokens.
+TEST(BenchIoTest, DftNetlistRoundTripsAndStaysEquivalent) {
+  auto nl = generate_circuit(lib(), test::tiny_profile(909));
+  {
+    DesignDB db(*nl);
+    TpiOptions tpi;
+    tpi.num_test_points = 4;
+    insert_test_points(db, tpi);
+  }
+  const ScanOptions sopts;
+  insert_scan(*nl, sopts);
+  stitch_chains(*nl, plan_chains(*nl, sopts, {}));
+  ASSERT_TRUE(nl->validate().empty()) << nl->validate();
+
+  const std::string text = write_bench_string(*nl);
+  EXPECT_NE(text.find("TSFF("), std::string::npos);
+  EXPECT_NE(text.find("SDFF("), std::string::npos);
+  const BenchReadResult back = read_bench_string(text, lib(), "roundtrip");
+  ASSERT_TRUE(back.ok()) << back.error;
+  const Netlist& rt = *back.netlist;
+  EXPECT_TRUE(rt.validate().empty()) << rt.validate();
+  EXPECT_EQ(rt.flip_flops().size(), nl->flip_flops().size());
+  EXPECT_EQ(rt.test_points().size(), nl->test_points().size());
+  EXPECT_EQ(rt.num_pos(), nl->num_pos());
+  EXPECT_EQ(rt.stats().combinational, nl->stats().combinational);
+
+  // Port names do not survive the format (OUTPUT() names the net), so the
+  // cross-round-trip miter matches POs by net name.
+  MiterOptions mopts;
+  mopts.match_pos_by_net = true;
+  const MiterResult m = build_miter(*nl, rt, mopts);
+  ASSERT_TRUE(m.ok()) << m.error;
+  EXPECT_EQ(m.matched_pos, static_cast<int>(nl->num_pos()));
+  const EquivResult res = EquivChecker(*m.netlist).check();
+  EXPECT_TRUE(res.equivalent) << "round-trip changed behaviour: cex from "
+                              << res.cex.source << " at frame " << res.cex.fail_frame;
 }
 
 TEST(BenchIoTest, CommentsAndBlankLinesIgnored) {

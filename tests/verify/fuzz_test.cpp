@@ -1,0 +1,89 @@
+#include "verify/fuzz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../common/test_circuits.hpp"
+#include "netlist/design_db.hpp"
+#include "util/rng.hpp"
+
+namespace tpi {
+namespace {
+
+using test::lib;
+
+// The headline acceptance check: 50 random mutator pipelines at the fixed
+// default seed, zero false alarms.
+TEST(FuzzTest, FiftyPipelinesNoFalseAlarms) {
+  TransformFuzzer fuzzer(lib());
+  const FuzzReport rep = fuzzer.run();
+  for (const FuzzFailure& f : rep.failures) {
+    ADD_FAILURE() << "iteration " << f.iteration << " failed (" << f.error
+                  << "), minimized pipeline size " << f.minimized.size();
+  }
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.iterations_run, 50);
+  EXPECT_GE(rep.transforms_applied, 50);
+  EXPECT_NE(rep.digest, 0u);
+}
+
+/// A mutator that is NOT mission-mode invisible: splices an inverter in
+/// front of the first primary output.
+FuzzTransform break_po_transform() {
+  return {"break_po", [](DesignDB& db, Rng&) {
+            Netlist& nl = db.netlist();
+            if (nl.num_pos() == 0) return;
+            const CellSpec* inv = nl.library().gate(CellFunc::kInv, 1);
+            const CellId c =
+                nl.add_cell(inv, "bug.inv." + std::to_string(nl.num_cells()));
+            nl.insert_cell_in_net(nl.po_net(0), c, 0);
+          }};
+}
+
+TEST(FuzzTest, BrokenMutatorIsCaughtAndMinimized) {
+  FuzzOptions opts;
+  opts.iterations = 8;
+  TransformFuzzer fuzzer(lib(), opts);
+  fuzzer.add_transform(break_po_transform());
+  const FuzzReport rep = fuzzer.run();
+  ASSERT_FALSE(rep.ok()) << "no pipeline drew break_po within " << opts.iterations
+                         << " iterations; bump iterations or reseed";
+  for (const FuzzFailure& f : rep.failures) {
+    // Every failing pipeline contains the bad mutator...
+    EXPECT_NE(std::find(f.pipeline.begin(), f.pipeline.end(), "break_po"),
+              f.pipeline.end());
+    // ...and shrinking isolates it (acceptance bound: <= 3 transforms).
+    EXPECT_LE(f.minimized.size(), 3u);
+    ASSERT_FALSE(f.minimized.empty());
+    EXPECT_NE(std::find(f.minimized.begin(), f.minimized.end(), "break_po"),
+              f.minimized.end());
+    // The functional failure carries a shrunk, non-empty counterexample.
+    if (f.error.empty()) {
+      EXPECT_FALSE(f.cex.empty());
+      EXPECT_GE(f.cex.fail_frame, 0);
+      EXPECT_LE(f.cex.num_frames(), 4u);
+    }
+  }
+  // Clean pipelines (without break_po) still pass: no collateral alarms.
+  EXPECT_LT(static_cast<int>(rep.failures.size()), rep.iterations_run);
+}
+
+TEST(FuzzTest, DigestAndOutcomeReproducible) {
+  FuzzOptions opts;
+  opts.iterations = 5;
+  const FuzzReport a = TransformFuzzer(lib(), opts).run();
+  const FuzzReport b = TransformFuzzer(lib(), opts).run();
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.iterations_run, b.iterations_run);
+  EXPECT_EQ(a.transforms_applied, b.transforms_applied);
+  EXPECT_EQ(a.failures.size(), b.failures.size());
+
+  FuzzOptions other = opts;
+  other.seed = opts.seed + 1;
+  const FuzzReport c = TransformFuzzer(lib(), other).run();
+  EXPECT_NE(a.digest, c.digest);  // seed actually feeds the pipelines
+}
+
+}  // namespace
+}  // namespace tpi
