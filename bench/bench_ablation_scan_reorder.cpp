@@ -17,10 +17,12 @@ int main() {
       SweepJob job;
       job.label = profile.name + (reorder ? "/reorder=on" : "/reorder=off");
       job.profile = profile;
+      job.options = bench_config().options;
       job.options.layout_driven_reorder = reorder;
-      job.options.run_atpg = false;
-      job.options.run_sta = false;
-      job.stages = stage_mask_from(job.options);
+      job.stages = StageMask::all()
+                       .without(Stage::kReorderAtpg)
+                       .without(Stage::kExtract)
+                       .without(Stage::kSta);
       jobs.push_back(std::move(job));
     }
   }

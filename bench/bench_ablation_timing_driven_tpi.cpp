@@ -28,6 +28,7 @@ int main() {
     SweepJob job;
     job.label = c.name;
     job.profile = profile;
+    job.options = bench_config().options;
     job.options.tp_percent = c.pct;
     job.options.timing_driven_tpi = c.timing_driven;
     job.options.timing_exclude_slack_ps = 1500.0;

@@ -31,10 +31,10 @@ int main() {
     SweepJob job;
     job.label = std::string(profile.name) + "/method=" + mc.name;
     job.profile = profile;
+    job.options = bench_config().options;
     job.options.tp_percent = mc.pct;
     job.options.tpi_method = mc.method;
-    job.options.run_sta = false;
-    job.stages = stage_mask_from(job.options);
+    job.stages = StageMask::all().without(Stage::kExtract).without(Stage::kSta);
     jobs.push_back(std::move(job));
   }
   const SweepReport report = run_jobs(std::move(jobs));

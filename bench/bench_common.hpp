@@ -3,7 +3,8 @@
 // layout of the paper's tables. The (circuit × tp_percent) grid executes in
 // parallel through SweepRunner; results are bit-identical at any job count.
 //
-// Environment:
+// All environment handling lives in FlowConfig::from_env (flow/flow_config.hpp)
+// — bench_config() reads it once per process:
 //   TPI_BENCH_SCALE   scale factor applied to every circuit profile
 //                     (default 1.0 = paper-sized; use e.g. 0.2 for smoke runs)
 //   TPI_BENCH_JOBS    worker threads for the sweep grid
@@ -22,57 +23,29 @@
 #pragma once
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "circuits/profiles.hpp"
 #include "flow/flow.hpp"
+#include "flow/flow_config.hpp"
 #include "flow/sweep.hpp"
-#include "util/log.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
-#include "util/thread_pool.hpp"
-#include "util/trace.hpp"
 
 namespace tpi::bench {
 
-/// Positive double from an env var; `fallback` on unset. Garbage or
-/// non-positive values warn and fall back instead of silently becoming 0.
-inline double env_positive_double(const char* name, double fallback) {
-  const char* env = std::getenv(name);
-  if (env == nullptr || *env == '\0') return fallback;
-  char* end = nullptr;
-  const double v = std::strtod(env, &end);
-  if (end == env || *end != '\0' || !(v > 0.0)) {
-    std::fprintf(stderr, "[bench] warning: invalid %s=\"%s\" (want a positive number); "
-                         "using %g\n", name, env, fallback);
-    return fallback;
-  }
-  return v;
+/// The process-wide bench configuration: compiled defaults + environment,
+/// read exactly once. Benches copy it and override per-job fields.
+inline const FlowConfig& bench_config() {
+  static const FlowConfig kConfig = FlowConfig::from_env();
+  return kConfig;
 }
 
-inline double bench_scale() { return env_positive_double("TPI_BENCH_SCALE", 1.0); }
+inline double bench_scale() { return bench_config().scale; }
+inline int bench_jobs() { return bench_config().effective_bench_jobs(); }
 
-/// Sweep worker threads: TPI_BENCH_JOBS, default hardware concurrency.
-inline int bench_jobs() {
-  return static_cast<int>(env_positive_double(
-      "TPI_BENCH_JOBS", static_cast<double>(ThreadPool::default_concurrency())));
-}
-
-/// Fault-sim workers inside each ATPG stage: TPI_ATPG_JOBS, default 1
-/// (serial — the sweep grid parallelises across cells; inner-loop threads
-/// pay off when a single large circuit dominates). AtpgResult is
-/// bit-identical at any value.
-inline int atpg_jobs() { return static_cast<int>(env_positive_double("TPI_ATPG_JOBS", 1.0)); }
-
-inline void setup_logging() {
-  // TPI_LOG_LEVEL wins; TPI_BENCH_VERBOSE only picks the fallback.
-  set_log_level_from_env(std::getenv("TPI_BENCH_VERBOSE") != nullptr ? LogLevel::kInfo
-                                                                     : LogLevel::kWarn);
-  trace_init_from_env();
-}
+inline void setup_logging() { bench_config().apply_process_settings(); }
 
 /// The paper's sweep: 0%, 1%, ..., 5% test points (§4.1).
 inline const std::vector<double>& tp_percentages() {
@@ -84,25 +57,22 @@ inline const std::vector<double>& tp_percentages() {
 inline std::vector<CircuitProfile> bench_profiles() {
   std::vector<CircuitProfile> out;
   for (const CircuitProfile& p : paper_profiles()) {
-    if (bench_scale() == 1.0) {
-      out.push_back(p);
-    } else {
-      CircuitProfile s = scaled(p, bench_scale());
-      s.name = p.name;  // keep the paper's circuit names in the tables
-      out.push_back(s);
-    }
+    FlowConfig cfg = bench_config();
+    cfg.profile = p.name;
+    CircuitProfile profile;
+    cfg.resolve_profile(profile);  // paper names always resolve
+    out.push_back(std::move(profile));
   }
   return out;
 }
 
-/// Execute jobs through a SweepRunner sized by TPI_BENCH_JOBS and write the
-/// aggregate JSON report when TPI_BENCH_JSON is set.
+/// Execute jobs through a SweepRunner sized by the bench config and write
+/// the aggregate JSON report when TPI_BENCH_JSON is set.
 inline SweepReport run_jobs(std::vector<SweepJob> jobs) {
-  SweepOptions so;
-  so.jobs = bench_jobs();
-  const SweepReport report = SweepRunner(so).run(*make_phl130_library(), std::move(jobs));
-  if (const char* path = std::getenv("TPI_BENCH_JSON"); path != nullptr && *path != '\0') {
-    if (report.write_json(path)) std::fprintf(stderr, "[bench] wrote %s\n", path);
+  const SweepReport report =
+      SweepRunner(bench_config()).run(*make_phl130_library(), std::move(jobs));
+  if (const std::string& path = bench_config().bench_json; !path.empty()) {
+    if (report.write_json(path)) std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
   }
   return report;
 }
@@ -114,16 +84,14 @@ struct SweepResult {
 
 /// The full paper grid — bench_profiles() × tp_percentages() — run in
 /// parallel, repacked per circuit in paper order. Every layout is generated
-/// from scratch for every grid cell, exactly as in §4.1.
-inline std::vector<SweepResult> run_grid(bool with_atpg, bool with_sta,
-                                         SweepReport* report_out = nullptr) {
-  FlowOptions base;
-  base.run_atpg = with_atpg;
-  base.run_sta = with_sta;
-  base.atpg.jobs = atpg_jobs();
+/// from scratch for every grid cell, exactly as in §4.1. `stages` selects
+/// the per-cell flow (e.g. StageMask::all().without(Stage::kReorderAtpg)
+/// for the area tables that never look at patterns).
+inline std::vector<SweepResult> run_grid(StageMask stages, SweepReport* report_out = nullptr) {
+  FlowConfig base = bench_config();
+  base.stages = stages;
   const std::vector<CircuitProfile> profiles = bench_profiles();
-  SweepReport report =
-      run_jobs(SweepRunner::grid(profiles, tp_percentages(), base, stage_mask_from(base)));
+  SweepReport report = run_jobs(SweepRunner::grid(profiles, tp_percentages(), base));
 
   std::vector<SweepResult> out;
   std::size_t cell = 0;
@@ -141,15 +109,11 @@ inline std::vector<SweepResult> run_grid(bool with_atpg, bool with_sta,
 
 /// Run the sweep for one circuit (kept for single-circuit benches; the
 /// percentages of one circuit still run in parallel).
-inline SweepResult run_sweep(const CircuitProfile& profile, bool with_atpg,
-                             bool with_sta,
+inline SweepResult run_sweep(const CircuitProfile& profile, StageMask stages,
                              const std::vector<double>& percentages = tp_percentages()) {
-  FlowOptions base;
-  base.run_atpg = with_atpg;
-  base.run_sta = with_sta;
-  base.atpg.jobs = atpg_jobs();
-  const SweepReport report =
-      run_jobs(SweepRunner::grid({profile}, percentages, base, stage_mask_from(base)));
+  FlowConfig base = bench_config();
+  base.stages = stages;
+  const SweepReport report = run_jobs(SweepRunner::grid({profile}, percentages, base));
   SweepResult out;
   out.profile = profile;
   for (const SweepCellResult& cell : report.cells) out.runs.push_back(cell.result);

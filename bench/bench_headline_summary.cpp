@@ -14,7 +14,7 @@ int main() {
   TextTable table({"circuit", "chip @1%TP(%)", "chip @5%TP(%)", "Tcp @1%TP(%)",
                    "Tcp @5%TP(%)", "area R^2", "Tcp R^2"});
   SweepReport report;
-  for (const SweepResult& sweep : run_grid(/*with_atpg=*/false, /*with_sta=*/true, &report)) {
+  for (const SweepResult& sweep : run_grid(StageMask::all().without(Stage::kReorderAtpg), &report)) {
     const CircuitProfile& profile = sweep.profile;
     const FlowResult& base = sweep.runs.front();
     auto pct = [&](double now, double then) { return 100.0 * (now - then) / then; };

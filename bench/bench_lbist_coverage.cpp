@@ -3,11 +3,14 @@
 // patterns only is generally insufficient ... test points are therefore
 // inserted to increase the detectability of these faults, which results in
 // higher fault coverage." Cross-references [5][6][9][10][11] of the paper.
+#include <future>
+
 #include "bench_common.hpp"
 #include "bist/lbist.hpp"
 #include "circuits/generator.hpp"
 #include "netlist/design_db.hpp"
 #include "tpi/tpi.hpp"
+#include "util/thread_pool.hpp"
 
 int main() {
   using namespace tpi;

@@ -19,7 +19,11 @@ int main() {
                    "aspect"});
 
   SweepReport report;
-  for (const SweepResult& sweep : run_grid(/*with_atpg=*/false, /*with_sta=*/false, &report)) {
+  for (const SweepResult& sweep : run_grid(StageMask::all()
+                                             .without(Stage::kReorderAtpg)
+                                             .without(Stage::kExtract)
+                                             .without(Stage::kSta),
+                                         &report)) {
     const CircuitProfile& profile = sweep.profile;
     const FlowResult& base = sweep.runs.front();
     for (std::size_t i = 0; i < sweep.runs.size(); ++i) {

@@ -33,7 +33,7 @@ int main() {
                    "slow"});
 
   SweepReport report;
-  for (const SweepResult& sweep : run_grid(/*with_atpg=*/false, /*with_sta=*/true, &report)) {
+  for (const SweepResult& sweep : run_grid(StageMask::all().without(Stage::kReorderAtpg), &report)) {
     const CircuitProfile& profile = sweep.profile;
     const std::size_t domains = sweep.runs.front().sta.per_domain.size();
     for (std::size_t d = 0; d < domains; ++d) {

@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <cmath>
+#include <stdexcept>
 
 #include "circuits/generator.hpp"
+#include "flow/flow_config.hpp"
 #include "layout/placement.hpp"
 #include "util/log.hpp"
 #include "util/trace.hpp"
@@ -89,6 +91,18 @@ FlowEngine::FlowEngine(const CellLibrary& lib, const CircuitProfile& profile,
   scan_opts_.max_chains = profile_.max_chains;
 }
 
+namespace {
+CircuitProfile resolve_or_throw(const FlowConfig& config) {
+  CircuitProfile profile;
+  std::string error;
+  if (!config.resolve_profile(profile, &error)) throw std::invalid_argument(error);
+  return profile;
+}
+}  // namespace
+
+FlowEngine::FlowEngine(const CellLibrary& lib, const FlowConfig& config)
+    : FlowEngine(lib, resolve_or_throw(config), config.options) {}
+
 FlowEngine::~FlowEngine() = default;
 
 bool FlowEngine::prerequisites_ok(Stage stage) const {
@@ -160,6 +174,11 @@ bool FlowEngine::run_stage(Stage stage) {
 
 const FlowResult& FlowEngine::run(StageMask mask) {
   for (const Stage s : kAllStages) {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      res_.cancelled = true;
+      log_info() << res_.circuit << ": run cancelled before stage " << stage_name(s);
+      return res_;
+    }
     if (mask.has(s)) run_stage(s);
   }
   log_info() << profile_.name << " @" << opts_.tp_percent << "% TP: cells=" << res_.num_cells

@@ -18,6 +18,7 @@
 // FlowOptions::run_atpg / run_sta booleans.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -49,8 +50,10 @@ struct FlowOptions {
   bool timing_driven_tpi = false;
   double timing_exclude_slack_ps = 400.0;
 
-  /// Deprecated: select stages with FlowEngine::run(StageMask) instead.
-  /// Still honored by run_flow()/run_flow_on() via stage_mask_from().
+  /// DEPRECATED (PR 6): select stages with FlowEngine::run(StageMask) or a
+  /// FlowConfig instead; these booleans exist only so the legacy
+  /// run_flow()/run_flow_on() shims can map them via stage_mask_from().
+  /// New code (benches, tests, the flow server) never reads them.
   bool run_atpg = true;  ///< Table 1 needs it; Tables 2-3 do not
   bool run_sta = true;
   AtpgOptions atpg;
@@ -129,12 +132,19 @@ struct FlowResult {
   // ---- instrumentation ----
   StageTimings timings;    ///< per-stage wall clock for this run
   MetricsSnapshot metrics; ///< registry snapshot after the last stage run
+
+  /// True when a run() was stopped early by a cancellation token (see
+  /// FlowEngine::set_cancel_token): stages that already finished keep
+  /// their results, later ones never ran.
+  bool cancelled = false;
 };
 
 /// Staged driver for the Fig. 2 flow. One engine instance = one flow run
 /// over one netlist; construct a fresh engine per (circuit, tp_percent)
 /// grid cell. Stages can be run all at once (run), or one at a time
 /// (run_stage) with intermediate layout state inspected in between.
+struct FlowConfig;  // flow_config.hpp
+
 class FlowEngine {
  public:
   /// Engine over a caller-supplied netlist (consumed/modified in place).
@@ -142,6 +152,11 @@ class FlowEngine {
   /// Generates a fresh circuit for `profile` and owns it.
   FlowEngine(const CellLibrary& lib, const CircuitProfile& profile,
              const FlowOptions& opts);
+  /// Engine from a unified FlowConfig: generates config.profile at
+  /// config.scale and adopts config.options. Run with
+  /// engine.run(config.stages). Throws std::invalid_argument for an
+  /// unknown profile name.
+  FlowEngine(const CellLibrary& lib, const FlowConfig& config);
   ~FlowEngine();
 
   FlowEngine(const FlowEngine&) = delete;
@@ -150,6 +165,14 @@ class FlowEngine {
   /// Observer receiving on_stage_begin/end callbacks (nullptr = none).
   /// Not owned; must outlive the run.
   void set_observer(FlowObserver* observer) { observer_ = observer; }
+
+  /// Cooperative cancellation: run() re-checks the token before every
+  /// stage and stops at the next stage boundary once it reads true, so a
+  /// cancel lands within one stage's wall clock. The flag may be flipped
+  /// from any thread (the flow server's cancel RPC does); not owned,
+  /// nullptr disables the check. Finished stages keep their results and
+  /// result().cancelled is set.
+  void set_cancel_token(const std::atomic<bool>* cancel) { cancel_ = cancel; }
 
   /// Run the masked stages in flow order; a stage whose structural
   /// prerequisites were masked off is skipped with a warning (see
@@ -199,6 +222,7 @@ class FlowEngine {
   CircuitProfile profile_;
   FlowOptions opts_;
   FlowObserver* observer_ = nullptr;
+  const std::atomic<bool>* cancel_ = nullptr;
 
   FlowResult res_;
   std::array<bool, kNumStages> ran_{};
@@ -216,13 +240,15 @@ class FlowEngine {
   std::optional<ExtractionResult> extraction_;
 };
 
-/// Run the full flow on a freshly generated circuit for `profile`.
-/// Compatibility wrapper over FlowEngine honoring the deprecated
-/// run_atpg/run_sta flags.
+/// DEPRECATED (PR 6): thin shim over FlowEngine kept for source compat;
+/// it honors the deprecated run_atpg/run_sta booleans via
+/// stage_mask_from(). New code constructs a FlowEngine (or a FlowConfig,
+/// see flow/flow_config.hpp) and passes an explicit StageMask.
 FlowResult run_flow(const CellLibrary& lib, const CircuitProfile& profile,
                     const FlowOptions& opts);
 
-/// Same, but on a caller-supplied netlist (consumed/modified in place).
+/// DEPRECATED (PR 6): same shim on a caller-supplied netlist (consumed/
+/// modified in place). Prefer FlowEngine(Netlist&, ...) + run(StageMask).
 FlowResult run_flow_on(Netlist& nl, const CircuitProfile& profile, const FlowOptions& opts);
 
 }  // namespace tpi

@@ -1,0 +1,117 @@
+// FlowConfig — the one typed configuration object for a flow run.
+//
+// Before PR 6 the flow's configuration was spread across three layers:
+// typed FlowOptions, the deprecated run_atpg/run_sta booleans, and ~8
+// TPI_* environment lookups scattered over bench_common, log.cpp and
+// fuzz.cpp. FlowConfig consolidates all of it: one struct holding the
+// FlowOptions, the StageMask, the job counts and the seeds, buildable
+//
+//   * from the environment  — FlowConfig::from_env(), the single place
+//     TPI_BENCH_JOBS / TPI_ATPG_JOBS / TPI_BENCH_SCALE / TPI_BENCH_JSON /
+//     TPI_TRACE / TPI_LOG_LEVEL (+ TPI_BENCH_VERBOSE alias) /
+//     TPI_FUZZ_SEED / TPI_FUZZ_ITERS / TPI_SERVER_SOCKET /
+//     TPI_SERVER_CACHE_MB are parsed and validated;
+//   * from JSON             — FlowConfig::from_json(), used by the flow
+//     server's submit RPC and config files.
+//
+// Precedence is purely positional: each builder layers over a base
+// config, so  from_json(request, from_env())  gives explicit per-job JSON
+// the last word over process env, which in turn beats the compiled-in
+// defaults. Nothing else in the codebase reads these variables at run
+// time — in particular AtpgOptions::jobs is never silently overridden by
+// TPI_ATPG_JOBS once a config carries an explicit value (the multi-tenant
+// isolation fix: two server tenants with different job counts never see
+// each other's env).
+//
+// FlowEngine, SweepRunner, the benches and the flow server all consume
+// the same FlowConfig.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "circuits/profiles.hpp"
+#include "flow/flow.hpp"
+#include "util/log.hpp"
+#include "verify/fuzz.hpp"
+
+namespace tpi {
+
+struct FlowConfig {
+  // ---- per-job flow definition ----
+  /// Named circuit profile: "s38417", "circuit1", "p26909" (paper_profiles).
+  std::string profile = "s38417";
+  /// Uniform profile scale factor (TPI_BENCH_SCALE); 1.0 = paper-sized.
+  double scale = 1.0;
+  /// Typed flow options: tp_percent, TPI method, seeds, AtpgOptions
+  /// (including atpg.jobs), verify budget. The deprecated
+  /// run_atpg/run_sta booleans inside are ignored by FlowConfig
+  /// consumers — `stages` below is authoritative.
+  FlowOptions options;
+  /// Stages to run, replacing the run_atpg/run_sta booleans.
+  StageMask stages = StageMask::all();
+  /// Flow-server scheduling priority: higher runs first; FIFO within one
+  /// priority level.
+  int priority = 0;
+
+  // ---- process-wide settings ----
+  /// Sweep/server worker threads (TPI_BENCH_JOBS; <= 0 = hardware).
+  int bench_jobs = 0;
+  /// Sweep report output path (TPI_BENCH_JSON; empty = not written).
+  std::string bench_json;
+  /// Chrome-trace output path (TPI_TRACE; empty = tracing off).
+  std::string trace_path;
+  LogLevel log_level = LogLevel::kWarn;  ///< TPI_LOG_LEVEL
+  std::uint64_t fuzz_seed = FuzzOptions{}.seed;  ///< TPI_FUZZ_SEED
+  int fuzz_iters = FuzzOptions{}.iterations;     ///< TPI_FUZZ_ITERS
+  /// Flow-server listen path (TPI_SERVER_SOCKET), a unix domain socket.
+  std::string server_socket = "tpi_server.sock";
+  /// Flow-server design-cache budget in MiB (TPI_SERVER_CACHE_MB).
+  int server_cache_mb = 256;
+
+  /// Layer every recognised TPI_* environment variable over `base`:
+  /// unset variables keep the base value, invalid ones warn (via the
+  /// util/env.hpp helpers) and keep the base value. This is the only
+  /// place process env enters flow configuration.
+  static FlowConfig from_env(const FlowConfig& base);
+  static FlowConfig from_env();  ///< from_env over the compiled-in defaults
+
+  /// Layer a JSON object over `base`. Recognised keys mirror the struct
+  /// (see DESIGN.md §12 for the schema): "profile", "scale",
+  /// "tp_percent", "tpi_method", "seed", "stages", "atpg_jobs",
+  /// "max_patterns", "verify", "layout_driven_reorder",
+  /// "timing_driven_tpi", "timing_exclude_slack_ps", "priority",
+  /// "bench_jobs", "bench_json", "trace", "log_level", "fuzz_seed",
+  /// "fuzz_iters", "server_socket", "server_cache_mb".
+  /// Unknown keys or type mismatches fail with a message in *error
+  /// (when non-null) and return false, leaving `out` untouched.
+  static bool from_json(std::string_view text, const FlowConfig& base, FlowConfig& out,
+                        std::string* error = nullptr);
+
+  /// Round-trippable JSON of the per-job fields plus the non-default
+  /// process fields: from_json(to_json(), {}) reproduces the config.
+  std::string to_json() const;
+
+  /// The named profile at `scale` (name kept verbatim so report labels
+  /// stay the paper's). Returns false + *error when the name is unknown.
+  bool resolve_profile(CircuitProfile& out, std::string* error = nullptr) const;
+
+  /// Worker threads a sweep/server built from this config will use.
+  int effective_bench_jobs() const;
+
+  /// FuzzOptions with this config's seed/iteration budget applied.
+  FuzzOptions fuzz_options() const;
+
+  /// Install the process-wide side of the config: log level now, trace
+  /// sink armed from TPI_TRACE (idempotent).
+  void apply_process_settings() const;
+};
+
+/// Canonical "hybrid" | "scoap" | "cop" spelling of a TpiMethod.
+const char* tpi_method_name(TpiMethod method);
+/// Inverse of tpi_method_name; nullopt for unknown spellings.
+std::optional<TpiMethod> tpi_method_from_name(std::string_view name);
+
+}  // namespace tpi

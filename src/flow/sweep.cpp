@@ -5,6 +5,7 @@
 #include <future>
 #include <utility>
 
+#include "flow/flow_config.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
@@ -125,6 +126,16 @@ bool SweepReport::write_json(const std::string& path) const {
 }
 
 SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts) {}
+
+SweepRunner::SweepRunner(const FlowConfig& config) {
+  opts_.jobs = config.effective_bench_jobs();
+}
+
+std::vector<SweepJob> SweepRunner::grid(const std::vector<CircuitProfile>& circuits,
+                                        const std::vector<double>& tp_percents,
+                                        const FlowConfig& config) {
+  return grid(circuits, tp_percents, config.options, config.stages);
+}
 
 int SweepRunner::effective_jobs() const {
   return opts_.jobs > 0 ? opts_.jobs : static_cast<int>(ThreadPool::default_concurrency());

@@ -20,6 +20,8 @@
 
 namespace tpi {
 
+struct FlowConfig;  // flow_config.hpp
+
 /// One grid cell: a full flow run of `profile` with `options`
 /// (tp_percent and seeds live inside `options`), restricted to `stages`.
 struct SweepJob {
@@ -71,6 +73,9 @@ struct SweepReport {
 class SweepRunner {
  public:
   explicit SweepRunner(SweepOptions opts = {});
+  /// Runner sized from a unified FlowConfig (jobs =
+  /// config.effective_bench_jobs(), progress on).
+  explicit SweepRunner(const FlowConfig& config);
 
   /// Execute all jobs on the pool; blocks until the grid is done. An
   /// exception escaping a cell's flow run is rethrown here after the
@@ -83,6 +88,12 @@ class SweepRunner {
                                     const std::vector<double>& tp_percents,
                                     const FlowOptions& base_options,
                                     StageMask stages = StageMask::all());
+
+  /// Same grid from a unified FlowConfig: cells inherit config.options
+  /// (atpg jobs, seeds, verify budget) and run config.stages.
+  static std::vector<SweepJob> grid(const std::vector<CircuitProfile>& circuits,
+                                    const std::vector<double>& tp_percents,
+                                    const FlowConfig& config);
 
   /// Number of worker threads run() will use.
   int effective_jobs() const;

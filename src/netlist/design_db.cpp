@@ -131,4 +131,24 @@ DesignDB::Counters DesignDB::counters() const {
   return counters_;
 }
 
+void DesignDB::adopt_views_from(const DesignDB& warm) {
+  std::scoped_lock lock(mu_, warm.mu_);
+  for (std::size_t i = 0; i < 2; ++i) {
+    if (warm.topo_[i].value) {
+      topo_[i].value = std::make_unique<TopoOrder>(*warm.topo_[i].value);
+      topo_[i].built = warm.topo_[i].built;
+    }
+    if (warm.comb_[i].value) {
+      // Rebind to this DB's netlist: the adopted model must read live
+      // num_nets() from the copy it now serves, not the cache's golden.
+      comb_[i].value = std::make_unique<CombModel>(*warm.comb_[i].value, *nl_);
+      comb_[i].built = warm.comb_[i].built;
+    }
+    if (warm.testab_[i].value) {
+      testab_[i].value = std::make_unique<TestabilityResult>(*warm.testab_[i].value);
+      testab_[i].built = warm.testab_[i].built;
+    }
+  }
+}
+
 }  // namespace tpi

@@ -85,6 +85,16 @@ class DesignDB {
   };
   Counters counters() const;
 
+  /// Seed this DB's view slots from `warm`, a DB whose netlist this DB's
+  /// netlist was copied from (Netlist copies preserve the edit journal, so
+  /// the adopted built-versions stay meaningful against the copy). Views
+  /// `warm` has built are deep-copied — CombModels rebound to this DB's
+  /// netlist — and served as ordinary hits/refreshes afterwards; slots
+  /// `warm` never built stay empty. Adoption itself records no counters.
+  /// Used by the flow server's design cache to let repeat requests for the
+  /// same profile skip topo/comb/testability rebuilds.
+  void adopt_views_from(const DesignDB& warm);
+
  private:
   template <typename T>
   struct Slot {

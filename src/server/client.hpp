@@ -1,0 +1,44 @@
+// Minimal blocking client for the flow server's newline-delimited
+// JSON-RPC protocol: connect to the AF_UNIX socket, send one request line,
+// read one response line. Used by the load-test bench and the socket
+// round-trip tests; request construction stays with the caller (rpc() adds
+// the {"id","method","params"} envelope).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tpi {
+
+class FlowClient {
+ public:
+  FlowClient() = default;
+  ~FlowClient();
+
+  FlowClient(const FlowClient&) = delete;
+  FlowClient& operator=(const FlowClient&) = delete;
+
+  /// Connect to the server socket. False (with *error set) on failure;
+  /// retries are the caller's business.
+  bool connect(const std::string& socket_path, std::string* error = nullptr);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Send `request_line` (newline appended) and block for the response
+  /// line (returned without the newline). False on I/O errors.
+  bool call(const std::string& request_line, std::string* response_line,
+            std::string* error = nullptr);
+
+  /// call() with the JSON-RPC envelope built for you: `params_json` must
+  /// be a JSON value or empty (omitted). Ids are assigned sequentially.
+  bool rpc(std::string_view method, std::string_view params_json, std::string* response_line,
+           std::string* error = nullptr);
+
+ private:
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  std::string buf_;  ///< bytes read past the last newline
+};
+
+}  // namespace tpi

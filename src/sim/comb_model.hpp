@@ -32,6 +32,11 @@ class CombModel {
   /// of levelize(nl, view)); lets DesignDB share one cached TopoOrder
   /// between the model and other consumers instead of levelizing twice.
   CombModel(const Netlist& nl, SeqView view, const TopoOrder& topo);
+  /// Rebind-copy: identical compiled content served against `nl`, which
+  /// must be a copy of the netlist `other` was built from (same content,
+  /// same edit version). Lets DesignDB::adopt_views_from hand warm views
+  /// to a job's private netlist copy without recompiling.
+  CombModel(const CombModel& other, const Netlist& nl) : CombModel(other) { nl_ = &nl; }
 
   /// Internal hook for DesignDB's cached-view refresh: when the netlist
   /// only grew nets that no logic touches since this model was built

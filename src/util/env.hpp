@@ -1,0 +1,38 @@
+// Validated environment-variable parsing — the one place process
+// configuration enters the system. Every TPI_* lookup (bench scale, job
+// counts, fuzz seeds, log level, server socket) goes through these helpers,
+// so invalid values produce one consistent warning and a fallback instead
+// of module-specific strtod/strtol ad-hockery. FlowConfig::from_env() is
+// the aggregate consumer; legacy per-module readers (set_log_level_from_env,
+// FuzzOptions::from_env) delegate here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tpi {
+
+/// Raw value of `name`, or nullopt when unset or empty.
+std::optional<std::string> env_string(const char* name);
+
+/// Strictly positive double. Unset/empty -> `fallback`; garbage or a
+/// non-positive value warns on stderr and falls back.
+double env_positive_double(const char* name, double fallback);
+
+/// Integer in [lo, hi]. Unset/empty -> `fallback`; garbage or out-of-range
+/// warns and falls back.
+long env_int(const char* name, long fallback, long lo, long hi);
+
+/// 64-bit unsigned integer, base auto-detected (0x... accepted). Unset or
+/// empty -> `fallback`; garbage warns and falls back.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+/// Parse helpers over explicit strings (shared by env and JSON config
+/// paths): nullopt on any trailing garbage / range violation.
+std::optional<double> parse_double(std::string_view text);
+std::optional<long> parse_long(std::string_view text);
+std::optional<std::uint64_t> parse_u64(std::string_view text);
+
+}  // namespace tpi

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/env.hpp"
+
 namespace tpi {
 namespace {
 
@@ -43,15 +45,17 @@ std::optional<LogLevel> parse_log_level(std::string_view name) {
 }
 
 LogLevel set_log_level_from_env(LogLevel fallback) {
+  // Delegates to the consolidated env layer (util/env.hpp) for the lookup;
+  // FlowConfig::from_env() uses the same parse_log_level validation.
   LogLevel level = fallback;
-  if (const char* env = std::getenv("TPI_LOG_LEVEL"); env != nullptr && *env != '\0') {
-    if (const std::optional<LogLevel> parsed = parse_log_level(env)) {
+  if (const std::optional<std::string> env = env_string("TPI_LOG_LEVEL")) {
+    if (const std::optional<LogLevel> parsed = parse_log_level(*env)) {
       level = *parsed;
     } else {
       std::fprintf(stderr,
                    "[log] warning: invalid TPI_LOG_LEVEL=\"%s\" "
                    "(want debug|info|warn|error|silent)\n",
-                   env);
+                   env->c_str());
     }
   }
   set_log_level(level);

@@ -39,7 +39,9 @@ void ThreadPool::worker_loop() {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and fully drained
-      task = std::move(queue_.front());
+      // priority_queue::top() is const; moving from it is safe because the
+      // element is popped before anything else can observe it.
+      task = std::move(const_cast<Task&>(queue_.top()));
       queue_.pop();
     }
     const Clock::time_point start = Clock::now();

@@ -1,8 +1,11 @@
-// Fixed-size thread pool used by the sweep runner to execute independent
-// (circuit × tp_percent) flow runs concurrently. Deliberately minimal: a
-// single FIFO queue, no work stealing, futures for results and exception
-// propagation. Tasks are picked up in submission order; with one worker the
-// pool degrades to deterministic serial execution, which the
+// Fixed-size thread pool used by the sweep runner and the flow server to
+// execute independent flow runs concurrently. Deliberately minimal: a
+// single priority queue (stable FIFO within one priority level), no work
+// stealing, futures for results and exception propagation. Plain submit()
+// enqueues at priority 0, so a pool fed only through submit() behaves
+// exactly like the original FIFO pool; submit_prioritized() lets the flow
+// server run urgent tenants ahead of queued batch work. With one worker
+// the pool degrades to deterministic serial execution, which the
 // parallel-vs-serial equivalence tests rely on.
 //
 // Every task's queue wait (submit -> dequeue) and run latency are recorded
@@ -13,6 +16,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -46,17 +50,26 @@ class ThreadPool {
   /// allows it to return 0 when unknowable).
   static unsigned default_concurrency();
 
-  /// Enqueue `fn` and return a future for its result. An exception thrown
-  /// by the task is captured and rethrown from future::get().
+  /// Enqueue `fn` at priority 0 and return a future for its result. An
+  /// exception thrown by the task is captured and rethrown from
+  /// future::get().
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    return submit_prioritized(0, std::forward<F>(fn));
+  }
+
+  /// Enqueue `fn` with an explicit priority: higher runs first; equal
+  /// priorities run in submission order (stable via a sequence number).
+  template <typename F>
+  auto submit_prioritized(int priority, F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit() after shutdown");
-      queue_.push(Task{[task] { (*task)(); }, std::chrono::steady_clock::now()});
+      queue_.push(Task{[task] { (*task)(); }, std::chrono::steady_clock::now(), priority,
+                       next_seq_++});
     }
     cv_.notify_one();
     return fut;
@@ -66,14 +79,24 @@ class ThreadPool {
   struct Task {
     std::function<void()> fn;
     std::chrono::steady_clock::time_point enqueued;
+    int priority = 0;
+    std::uint64_t seq = 0;
+
+    /// std::priority_queue is a max-heap on operator<: higher priority
+    /// wins, lower sequence number (earlier submit) breaks ties.
+    bool operator<(const Task& o) const {
+      if (priority != o.priority) return priority < o.priority;
+      return seq > o.seq;
+    }
   };
 
   void worker_loop();
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::queue<Task> queue_;
+  std::priority_queue<Task> queue_;
   std::vector<std::thread> workers_;
+  std::uint64_t next_seq_ = 0;
   bool stopping_ = false;
 };
 

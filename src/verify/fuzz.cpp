@@ -11,6 +11,7 @@
 #include "netlist/design_db.hpp"
 #include "scan/scan.hpp"
 #include "tpi/tpi.hpp"
+#include "util/env.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "verify/miter.hpp"
@@ -79,28 +80,11 @@ EquivOptions fuzz_equiv_budget() {
 }
 
 FuzzOptions FuzzOptions::from_env() {
+  // Delegates to the consolidated env layer; FlowConfig::from_env() reads
+  // the same variables with the same validation and ranges.
   FuzzOptions o;
-  if (const char* env = std::getenv("TPI_FUZZ_SEED"); env != nullptr && *env != '\0') {
-    char* end = nullptr;
-    errno = 0;
-    const unsigned long long v = std::strtoull(env, &end, 0);
-    if (end != env && *end == '\0' && errno == 0) {
-      o.seed = v;
-    } else {
-      log_warn() << "fuzz: invalid TPI_FUZZ_SEED=\"" << env << "\" (want a 64-bit integer); "
-                 << "using default " << o.seed;
-    }
-  }
-  if (const char* env = std::getenv("TPI_FUZZ_ITERS"); env != nullptr && *env != '\0') {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0 && v <= 1000000) {
-      o.iterations = static_cast<int>(v);
-    } else {
-      log_warn() << "fuzz: invalid TPI_FUZZ_ITERS=\"" << env << "\" (want a positive count); "
-                 << "using default " << o.iterations;
-    }
-  }
+  o.seed = env_u64("TPI_FUZZ_SEED", o.seed);
+  o.iterations = static_cast<int>(env_int("TPI_FUZZ_ITERS", o.iterations, 1, 1000000));
   return o;
 }
 

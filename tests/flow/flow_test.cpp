@@ -12,13 +12,24 @@ namespace {
 
 using test::lib;
 
-FlowResult run_tiny(double tp_percent, bool with_atpg = true,
+// End-to-end flow properties, driven through FlowEngine + StageMask (the
+// deprecated run_flow()/run_atpg shims have their own compat pins in
+// flow_engine_test.cpp).
+constexpr StageMask kNoAtpg = StageMask::all().without(Stage::kReorderAtpg);
+constexpr StageMask kLayoutOnly =
+    StageMask::all().without(Stage::kReorderAtpg).without(Stage::kExtract).without(Stage::kSta);
+
+FlowResult run_engine(const CircuitProfile& p, const FlowOptions& opts,
+                      StageMask stages = StageMask::all()) {
+  FlowEngine engine(lib(), p, opts);
+  return engine.run(stages);
+}
+
+FlowResult run_tiny(double tp_percent, StageMask stages = StageMask::all(),
                     std::uint64_t seed = 4242) {
-  const CircuitProfile p = test::tiny_profile(seed);
   FlowOptions opts;
   opts.tp_percent = tp_percent;
-  opts.run_atpg = with_atpg;
-  return run_flow(lib(), p, opts);
+  return run_engine(test::tiny_profile(seed), opts, stages);
 }
 
 TEST(FlowTest, PopulatesAllTableFields) {
@@ -49,16 +60,16 @@ TEST(FlowTest, PopulatesAllTableFields) {
 TEST(FlowTest, TestPointCountFollowsPercentage) {
   const CircuitProfile p = test::tiny_profile(4242);
   // tiny profile has 24 FFs: 10% -> 2 TSFFs (rounded), and #FF grows.
-  const FlowResult base = run_tiny(0.0, /*with_atpg=*/false);
-  const FlowResult tp = run_tiny(10.0, /*with_atpg=*/false);
+  const FlowResult base = run_tiny(0.0, kNoAtpg);
+  const FlowResult tp = run_tiny(10.0, kNoAtpg);
   EXPECT_EQ(base.num_test_points, 0);
   EXPECT_EQ(tp.num_test_points, static_cast<int>(std::lround(0.10 * p.num_ffs)));
   EXPECT_EQ(tp.num_ffs, base.num_ffs + tp.num_test_points);
 }
 
 TEST(FlowTest, AreaGrowsWithTestPoints) {
-  const FlowResult base = run_tiny(0.0, false);
-  const FlowResult tp = run_tiny(20.0, false);  // exaggerate for a tiny circuit
+  const FlowResult base = run_tiny(0.0, kNoAtpg);
+  const FlowResult tp = run_tiny(20.0, kNoAtpg);  // exaggerate for a tiny circuit
   EXPECT_GT(tp.num_cells, base.num_cells);
   EXPECT_GE(tp.core_area_um2, base.core_area_um2);
 }
@@ -72,18 +83,14 @@ TEST(FlowTest, DeterministicEndToEnd) {
 }
 
 TEST(FlowTest, RowUtilizationNearTarget) {
-  const FlowResult r = run_tiny(0.0, false);
+  const FlowResult r = run_tiny(0.0, kNoAtpg);
   // tiny profile targets 90%; fillers occupy the rest.
   EXPECT_NEAR(r.row_utilization_pct + r.filler_area_pct, 100.0, 0.5);
   EXPECT_NEAR(r.row_utilization_pct, 90.0, 5.0);
 }
 
-TEST(FlowTest, SkipsAtpgAndStaWhenAsked) {
-  const CircuitProfile p = test::tiny_profile(11);
-  FlowOptions opts;
-  opts.run_atpg = false;
-  opts.run_sta = false;
-  const FlowResult r = run_flow(lib(), p, opts);
+TEST(FlowTest, SkipsAtpgAndStaWhenMaskedOff) {
+  const FlowResult r = run_tiny(0.0, kLayoutOnly, /*seed=*/11);
   EXPECT_EQ(r.saf_patterns, 0);
   EXPECT_FALSE(r.sta.worst.valid);
   EXPECT_GT(r.num_cells, 0);  // layout still ran
@@ -93,12 +100,11 @@ TEST(FlowTest, TimingDrivenTpiAvoidsCriticalNets) {
   const CircuitProfile p = test::tiny_profile(12);
   FlowOptions normal;
   normal.tp_percent = 12.0;
-  normal.run_atpg = false;
   FlowOptions timing = normal;
   timing.timing_driven_tpi = true;
   timing.timing_exclude_slack_ps = 600.0;
-  const FlowResult a = run_flow(lib(), p, normal);
-  const FlowResult b = run_flow(lib(), p, timing);
+  const FlowResult a = run_engine(p, normal, kNoAtpg);
+  const FlowResult b = run_engine(p, timing, kNoAtpg);
   ASSERT_TRUE(a.sta.worst.valid && b.sta.worst.valid);
   // Timing-driven TPI keeps test points off small-slack paths; the
   // resulting critical path carries no test points.
@@ -109,12 +115,10 @@ TEST(FlowTest, TimingDrivenTpiAvoidsCriticalNets) {
 TEST(FlowTest, ScanReorderShortensScanWires) {
   const CircuitProfile p = test::small_profile(77);
   FlowOptions ordered;
-  ordered.run_atpg = false;
-  ordered.run_sta = false;
   FlowOptions unordered = ordered;
   unordered.layout_driven_reorder = false;
-  const FlowResult a = run_flow(lib(), p, ordered);
-  const FlowResult b = run_flow(lib(), p, unordered);
+  const FlowResult a = run_engine(p, ordered, kLayoutOnly);
+  const FlowResult b = run_engine(p, unordered, kLayoutOnly);
   EXPECT_LT(a.scan_wire_length_um, b.scan_wire_length_um);
 }
 
@@ -124,8 +128,8 @@ TEST(FlowTest, RunsOnExternalNetlist) {
   CircuitProfile p = test::tiny_profile(13);
   FlowOptions opts;
   opts.tp_percent = 4.0;
-  opts.run_atpg = false;
-  const FlowResult r = run_flow_on(*nl, p, opts);
+  FlowEngine engine(*nl, p, opts);
+  const FlowResult r = engine.run(kNoAtpg);
   EXPECT_GT(r.num_cells, 0);
   EXPECT_TRUE(nl->validate().empty()) << nl->validate();
 }

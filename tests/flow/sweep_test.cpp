@@ -15,10 +15,8 @@ namespace {
 using test::lib;
 
 std::vector<SweepJob> tiny_grid() {
-  FlowOptions base;
-  base.run_sta = true;
   return SweepRunner::grid({test::tiny_profile(31), test::tiny_profile(32)},
-                           {0.0, 2.0, 5.0}, base);
+                           {0.0, 2.0, 5.0}, FlowOptions{}, StageMask::all());
 }
 
 TEST(SweepRunnerTest, GridEnumeratesCircuitMajorWithLabels) {

@@ -1,0 +1,410 @@
+// Flow-server job lifecycle, scheduling and cache semantics, driven
+// through the transport-free handle_request() core (the AF_UNIX front end
+// gets one round-trip test; the forked-daemon path is the server_smoke
+// load test in bench/). The soak test is the acceptance criterion: results
+// byte-identical to single-shot FlowEngine runs at any concurrency.
+#include "server/flow_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../common/test_circuits.hpp"
+#include "server/client.hpp"
+#include "server/design_cache.hpp"
+#include "util/json.hpp"
+
+namespace tpi {
+namespace {
+
+// Small but full-flow config: scaled s38417 keeps every stage meaningful
+// while a single job stays in the tens of milliseconds.
+FlowConfig tiny_base() {
+  FlowConfig base;
+  base.profile = "s38417";
+  base.scale = 0.01;
+  base.options.atpg.jobs = 1;
+  return base;
+}
+
+JsonValue parse_response(const std::string& line) {
+  const JsonParseResult r = json_parse(line);
+  EXPECT_TRUE(r.ok) << r.error << " in " << line;
+  EXPECT_TRUE(r.value.is_object()) << line;
+  return r.value;
+}
+
+// The "result" payload of a successful response; fails the test on error
+// responses.
+JsonValue rpc_result(FlowServer& server, const std::string& request) {
+  const JsonValue resp = parse_response(server.handle_request(request));
+  const JsonValue* err = resp.find("error");
+  EXPECT_EQ(err, nullptr) << (err != nullptr ? err->as_string() : "")
+                          << " for " << request;
+  const JsonValue* result = resp.find("result");
+  EXPECT_NE(result, nullptr) << request;
+  return result != nullptr ? *result : JsonValue{};
+}
+
+std::uint64_t submit(FlowServer& server, const std::string& params) {
+  const JsonValue result = rpc_result(
+      server, "{\"id\": 1, \"method\": \"submit\", \"params\": " + params + "}");
+  const JsonValue* job = result.find("job");
+  EXPECT_NE(job, nullptr);
+  EXPECT_EQ(result.find("state")->as_string(), "queued");
+  return job != nullptr ? static_cast<std::uint64_t>(job->as_number()) : 0;
+}
+
+// Blocking result RPC; returns the result payload.
+JsonValue wait_result(FlowServer& server, std::uint64_t job) {
+  return rpc_result(server, "{\"id\": 2, \"method\": \"result\", \"params\": {\"job\": " +
+                                std::to_string(job) + ", \"wait\": true}}");
+}
+
+TEST(FlowServerTest, SubmitStatusResultDone) {
+  FlowServerOptions opts;
+  opts.workers = 2;
+  FlowServer server(tiny_base(), opts);
+
+  // 10% of the scaled-down FF count still rounds to a real test point.
+  const std::uint64_t job = submit(server, "{\"tp_percent\": 10.0}");
+  ASSERT_GT(job, 0u);
+
+  const JsonValue status = rpc_result(
+      server, "{\"id\": 9, \"method\": \"status\", \"params\": {\"job\": " +
+                  std::to_string(job) + "}}");
+  const std::string state = status.find("state")->as_string();
+  EXPECT_TRUE(state == "queued" || state == "running" || state == "done") << state;
+
+  const JsonValue result = wait_result(server, job);
+  EXPECT_EQ(result.find("state")->as_string(), "done");
+  EXPECT_GE(result.find("queue_wait_ns")->as_number(), 0.0);
+  const JsonValue* flow = result.find("flow");
+  ASSERT_NE(flow, nullptr);
+  EXPECT_GT(flow->find("num_cells")->as_number(), 0.0);
+  EXPECT_GT(flow->find("num_test_points")->as_number(), 0.0);
+  EXPECT_TRUE(flow->find("sta_valid")->as_bool());
+  ASSERT_NE(flow->find("metrics"), nullptr);
+  // designdb.* counters are excluded from the bit-identity surface.
+  EXPECT_EQ(flow->serialise().find("designdb."), std::string::npos);
+}
+
+// Acceptance criterion: N concurrent clients x M jobs produce results
+// byte-identical to single-shot FlowEngine runs of the same configs, with
+// cache hits after the first encounter of each profile.
+TEST(FlowServerTest, SoakResultsBitIdenticalToSingleShot) {
+  const std::vector<std::string> params = {
+      "{\"profile\": \"s38417\", \"tp_percent\": 0.0}",
+      "{\"profile\": \"s38417\", \"tp_percent\": 2.0}",
+      "{\"profile\": \"s38417\", \"tp_percent\": 4.0}",
+      "{\"profile\": \"circuit1\", \"tp_percent\": 0.0}",
+      "{\"profile\": \"circuit1\", \"tp_percent\": 2.0}",
+      "{\"profile\": \"circuit1\", \"tp_percent\": 4.0}",
+  };
+
+  // Single-shot references, canonicalised through the same parse +
+  // serialise as the RPC path so the comparison is byte-for-byte.
+  const FlowConfig base = tiny_base();
+  std::vector<std::string> expected;
+  for (const std::string& p : params) {
+    FlowConfig cfg;
+    std::string error;
+    ASSERT_TRUE(FlowConfig::from_json(p, base, cfg, &error)) << error;
+    FlowEngine engine(test::lib(), cfg);
+    const std::string json = flow_result_to_json(engine.run(cfg.stages));
+    const JsonParseResult parsed = json_parse(json);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    expected.push_back(parsed.value.serialise());
+  }
+
+  FlowServerOptions opts;
+  opts.workers = 4;
+  FlowServer server(tiny_base(), opts);
+
+  constexpr int kClients = 4;
+  constexpr int kJobsPerClient = 20;
+  std::vector<std::string> mismatches;
+  std::mutex mismatches_mu;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int j = 0; j < kJobsPerClient; ++j) {
+        const std::size_t which = (c * kJobsPerClient + j) % params.size();
+        const std::uint64_t job = submit(server, params[which]);
+        const JsonValue result = wait_result(server, job);
+        const JsonValue* flow = result.find("flow");
+        const std::string got = flow != nullptr ? flow->serialise() : "<missing>";
+        if (result.find("state")->as_string() != "done" || got != expected[which]) {
+          std::lock_guard<std::mutex> lock(mismatches_mu);
+          mismatches.push_back(params[which] + ": " + got);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_TRUE(mismatches.empty())
+      << mismatches.size() << " mismatches, first: " << mismatches.front();
+
+  // Two distinct (profile, seed, library) keys across 80 jobs: the cache
+  // built each at most once (dedup may count concurrent first requests as
+  // hits) and served everything else warm.
+  const DesignCache::Stats cs = server.cache_stats();
+  EXPECT_LE(cs.misses, 2u);
+  EXPECT_GE(cs.hits, static_cast<std::uint64_t>(kClients * kJobsPerClient) - 2);
+  EXPECT_EQ(cs.evictions, 0u);
+
+  // Every job's queue wait was observed into the server's registry.
+  const MetricsSnapshot snap = server.metrics_snapshot();
+  const MetricValue* wait = snap.find("server.queue_wait_ns");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->hist.count, static_cast<std::uint64_t>(kClients * kJobsPerClient));
+
+  const JsonValue stats = rpc_result(server, "{\"id\": 3, \"method\": \"stats\"}");
+  EXPECT_EQ(stats.find("jobs")->find("submitted")->as_number(),
+            static_cast<double>(kClients * kJobsPerClient));
+  EXPECT_EQ(stats.find("jobs")->find("done")->as_number(),
+            static_cast<double>(kClients * kJobsPerClient));
+  EXPECT_EQ(stats.find("server.cache.hits")->as_number(),
+            static_cast<double>(cs.hits));
+}
+
+// A gate for deterministic scheduling tests: blocks the first job that
+// starts until release(), and records every job the pool actually ran.
+class StartGate {
+ public:
+  std::function<void(std::uint64_t)> hook() {
+    return [this](std::uint64_t id) {
+      std::unique_lock<std::mutex> lock(mu_);
+      started_.push_back(id);
+      cv_.notify_all();
+      if (started_.size() == 1) {
+        cv_.wait(lock, [&] { return released_; });
+      }
+    };
+  }
+  void wait_first_started() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !started_.empty(); });
+  }
+  void release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+  std::vector<std::uint64_t> started() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return started_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::uint64_t> started_;
+  bool released_ = false;
+};
+
+TEST(FlowServerTest, PriorityOrderingUnderSaturatedPool) {
+  StartGate gate;
+  FlowServerOptions opts;
+  opts.workers = 1;
+  opts.on_job_start = gate.hook();
+  FlowServer server(tiny_base(), opts);
+
+  // First job occupies the single worker at the gate; the rest queue up.
+  const std::uint64_t blocker = submit(server, "{\"tp_percent\": 0.0}");
+  gate.wait_first_started();
+  const std::uint64_t low = submit(server, "{\"tp_percent\": 0.0, \"priority\": 0}");
+  const std::uint64_t high = submit(server, "{\"tp_percent\": 0.0, \"priority\": 5}");
+  const std::uint64_t mid = submit(server, "{\"tp_percent\": 0.0, \"priority\": 1}");
+  gate.release();
+
+  for (const std::uint64_t job : {blocker, low, high, mid}) {
+    EXPECT_EQ(wait_result(server, job).find("state")->as_string(), "done");
+  }
+  const std::vector<std::uint64_t> order = gate.started();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], blocker);
+  EXPECT_EQ(order[1], high);  // priority 5 jumps the queue
+  EXPECT_EQ(order[2], mid);   // then 1
+  EXPECT_EQ(order[3], low);   // then 0 (FIFO would have run it first)
+}
+
+TEST(FlowServerTest, CancelQueuedJobNeverRuns) {
+  StartGate gate;
+  FlowServerOptions opts;
+  opts.workers = 1;
+  opts.on_job_start = gate.hook();
+  FlowServer server(tiny_base(), opts);
+
+  const std::uint64_t blocker = submit(server, "{\"tp_percent\": 0.0}");
+  gate.wait_first_started();
+  const std::uint64_t victim = submit(server, "{\"tp_percent\": 0.0}");
+  const JsonValue cancel = rpc_result(
+      server, "{\"id\": 4, \"method\": \"cancel\", \"params\": {\"job\": " +
+                  std::to_string(victim) + "}}");
+  EXPECT_TRUE(cancel.find("cancel_requested")->as_bool());
+  gate.release();
+
+  const JsonValue result = wait_result(server, victim);
+  EXPECT_EQ(result.find("state")->as_string(), "cancelled");
+  EXPECT_EQ(result.find("flow"), nullptr);  // no flow ever ran
+  EXPECT_EQ(wait_result(server, blocker).find("state")->as_string(), "done");
+  // A job cancelled while queued never reaches the start hook.
+  for (const std::uint64_t id : gate.started()) EXPECT_NE(id, victim);
+}
+
+// The engine-level cancellation contract the cancel RPC builds on: a token
+// flipped mid-run stops the flow at the next stage boundary, keeping
+// finished stages' results.
+TEST(FlowServerTest, CancelTokenStopsAtStageBoundary) {
+  class CancelAfterPlace : public FlowObserver {
+   public:
+    explicit CancelAfterPlace(std::atomic<bool>* token) : token_(token) {}
+    void on_stage_end(const StageEvent& event) override {
+      if (event.stage == Stage::kFloorplanPlace) token_->store(true);
+    }
+
+   private:
+    std::atomic<bool>* token_;
+  };
+
+  std::atomic<bool> cancel{false};
+  CancelAfterPlace observer(&cancel);
+  FlowOptions fopts;
+  fopts.tp_percent = 2.0;
+  FlowEngine engine(test::lib(), test::tiny_profile(99), fopts);
+  engine.set_observer(&observer);
+  engine.set_cancel_token(&cancel);
+  const FlowResult& res = engine.run(StageMask::all());
+
+  EXPECT_TRUE(res.cancelled);
+  EXPECT_TRUE(res.timings.stage_ran(Stage::kTpiScan));
+  EXPECT_TRUE(res.timings.stage_ran(Stage::kFloorplanPlace));
+  EXPECT_FALSE(res.timings.stage_ran(Stage::kReorderAtpg));
+  EXPECT_FALSE(res.timings.stage_ran(Stage::kEco));
+  EXPECT_FALSE(res.timings.stage_ran(Stage::kSta));
+  // Results of the stages that finished survive the cancellation.
+  EXPECT_GT(res.num_ffs, 0);
+}
+
+TEST(DesignCacheTest, ConcurrentAcquireBuildsOnce) {
+  MetricsRegistry registry;
+  DesignCache cache(test::lib(), std::size_t{256} << 20, &registry);
+  const CircuitProfile profile = test::tiny_profile(7);
+
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<DesignCache::Entry>> entries(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] { entries[i] = cache.acquire(profile); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_NE(entries[i], nullptr);
+    EXPECT_EQ(entries[i], entries[0]);  // one shared build
+  }
+  const DesignCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, static_cast<std::uint64_t>(kThreads) - 1);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_GT(s.bytes, 0u);
+  // Counters land in the registry at event time.
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.find("server.cache.misses")->count, 1u);
+  EXPECT_EQ(snap.find("server.cache.hits")->count,
+            static_cast<std::uint64_t>(kThreads) - 1);
+}
+
+TEST(DesignCacheTest, EvictsLeastRecentlyUsedOverBudget) {
+  // A 1-byte budget forces every insertion over budget; the newest entry
+  // always stays, so the cache degrades to exactly one resident design.
+  DesignCache cache(test::lib(), 1);
+  const CircuitProfile a = test::tiny_profile(1);
+  const CircuitProfile b = test::tiny_profile(2);
+  ASSERT_NE(DesignCache::key_of(a, test::lib()), DesignCache::key_of(b, test::lib()));
+
+  const auto ea = cache.acquire(a);
+  const auto eb = cache.acquire(b);  // evicts a
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  cache.acquire(a);  // rebuilt: a was evicted
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  // Evicted entries stay alive through their shared_ptr checkouts.
+  EXPECT_GT(ea->netlist().num_cells(), 0u);
+  EXPECT_GT(eb->netlist().num_cells(), 0u);
+}
+
+TEST(FlowServerTest, SocketRoundTrip) {
+  FlowServerOptions opts;
+  opts.workers = 2;
+  opts.socket_path =
+      "/tmp/tpi_server_test_" + std::to_string(::getpid()) + ".sock";
+  FlowServer server(tiny_base(), opts);
+  std::string error;
+  ASSERT_TRUE(server.listen(&error)) << error;
+
+  FlowClient client;
+  ASSERT_TRUE(client.connect(server.socket_path(), &error)) << error;
+  std::string response;
+  ASSERT_TRUE(client.rpc("submit", "{\"tp_percent\": 2.0}", &response, &error)) << error;
+  const JsonValue submitted = parse_response(response);
+  const std::uint64_t job =
+      static_cast<std::uint64_t>(submitted.find("result")->find("job")->as_number());
+
+  ASSERT_TRUE(client.rpc("result",
+                         "{\"job\": " + std::to_string(job) + ", \"wait\": true}",
+                         &response, &error))
+      << error;
+  const JsonValue result = parse_response(response);
+  EXPECT_EQ(result.find("result")->find("state")->as_string(), "done");
+  EXPECT_GT(result.find("result")->find("flow")->find("num_cells")->as_number(), 0.0);
+
+  ASSERT_TRUE(client.rpc("shutdown", "", &response, &error)) << error;
+  EXPECT_TRUE(parse_response(response).find("result")->find("ok")->as_bool());
+  EXPECT_TRUE(server.shutdown_requested());
+  client.close();
+  server.stop();
+}
+
+TEST(FlowServerTest, ProtocolErrors) {
+  FlowServerOptions opts;
+  opts.workers = 1;
+  FlowServer server(tiny_base(), opts);
+
+  const auto error_of = [&](const std::string& request) {
+    const JsonValue resp = parse_response(server.handle_request(request));
+    const JsonValue* err = resp.find("error");
+    EXPECT_NE(err, nullptr) << request;
+    return err != nullptr ? err->as_string() : std::string();
+  };
+
+  EXPECT_NE(error_of("not json").find("parse error"), std::string::npos);
+  EXPECT_NE(error_of("[1]").find("JSON object"), std::string::npos);
+  EXPECT_NE(error_of("{\"id\": 1}").find("method"), std::string::npos);
+  EXPECT_NE(error_of("{\"id\": 1, \"method\": \"frobnicate\"}").find("unknown method"),
+            std::string::npos);
+  EXPECT_NE(error_of("{\"id\": 1, \"method\": \"status\", \"params\": {\"job\": 999}}")
+                .find("unknown job"),
+            std::string::npos);
+  EXPECT_NE(error_of("{\"id\": 1, \"method\": \"submit\", "
+                     "\"params\": {\"profile\": \"nonesuch\"}}")
+                .find("unknown profile"),
+            std::string::npos);
+  EXPECT_NE(error_of("{\"id\": 1, \"method\": \"submit\", "
+                     "\"params\": {\"warp\": 9}}")
+                .find("unknown key"),
+            std::string::npos);
+  // Failed submits never enqueue anything.
+  const JsonValue stats = rpc_result(server, "{\"id\": 2, \"method\": \"stats\"}");
+  EXPECT_EQ(stats.find("jobs")->find("submitted")->as_number(), 0.0);
+}
+
+}  // namespace
+}  // namespace tpi

@@ -1,0 +1,96 @@
+// JsonValue DOM: parse / serialise round trips, deterministic number
+// formatting, escapes, and the error paths the flow server depends on for
+// request validation.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tpi {
+namespace {
+
+JsonValue parse_ok(const std::string& text) {
+  const JsonParseResult r = json_parse(text);
+  EXPECT_TRUE(r.ok) << r.error << " in " << text;
+  return r.value;
+}
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_EQ(parse_ok("true").as_bool(), true);
+  EXPECT_EQ(parse_ok("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_ok("-2.5e2").as_number(), -250.0);
+  EXPECT_EQ(parse_ok("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  const JsonValue v = parse_ok("{\"a\": [1, 2, {\"b\": null}], \"c\": \"x\"}");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->as_array()[0].as_number(), 1.0);
+  EXPECT_TRUE(a->as_array()[2].find("b")->is_null());
+  EXPECT_EQ(v.find("c")->as_string(), "x");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrderAndSetReplaces) {
+  JsonValue o{JsonObject{}};
+  o.set("z", 1);
+  o.set("a", 2);
+  o.set("z", 3);  // replace in place, order kept
+  EXPECT_EQ(o.serialise(), "{\"z\":3,\"a\":2}");
+}
+
+TEST(JsonTest, SerialisesExactIntegersWithoutFraction) {
+  JsonValue o{JsonObject{}};
+  o.set("i", static_cast<std::int64_t>(1234567890123));
+  o.set("d", 2.5);
+  o.set("b", true);
+  o.set("s", "q\"\\\n");
+  const std::string out = o.serialise();
+  EXPECT_NE(out.find("\"i\":1234567890123"), std::string::npos);
+  EXPECT_NE(out.find("\"d\":2.5"), std::string::npos);
+  EXPECT_NE(out.find("\"s\":\"q\\\"\\\\\\n\""), std::string::npos);
+}
+
+TEST(JsonTest, RoundTripsThroughSerialise) {
+  const std::string text =
+      "{\"a\":[1,2.25,\"x\"],\"b\":{\"c\":true,\"d\":null},\"e\":-17}";
+  const JsonValue v = parse_ok(text);
+  const JsonValue again = parse_ok(v.serialise());
+  EXPECT_EQ(v, again);
+  EXPECT_EQ(v.serialise(), again.serialise());
+}
+
+TEST(JsonTest, DecodesEscapesAndSurrogatePairs) {
+  const JsonValue v = parse_ok("\"\\u0041\\t\\u00e9 \\ud83d\\ude00\"");
+  EXPECT_EQ(v.as_string(), "A\t\xc3\xa9 \xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, ReportsErrorsWithOffsets) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated",
+                          "{\"a\":1} trailing", "01", "+1", "nan"}) {
+    const JsonParseResult r = json_parse(bad);
+    EXPECT_FALSE(r.ok) << "accepted: " << bad;
+    EXPECT_NE(r.error.find("offset"), std::string::npos) << r.error;
+  }
+}
+
+TEST(JsonTest, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(json_parse(deep).ok);
+}
+
+TEST(JsonTest, EqualityIsStructural) {
+  EXPECT_EQ(parse_ok("{\"a\":1,\"b\":2}"), parse_ok("{\"a\":1,\"b\":2}"));
+  EXPECT_FALSE(parse_ok("{\"a\":1}") == parse_ok("{\"a\":2}"));
+  EXPECT_FALSE(parse_ok("[1,2]") == parse_ok("[2,1]"));
+}
+
+}  // namespace
+}  // namespace tpi

@@ -73,6 +73,31 @@ TEST(ThreadPoolTest, PendingDrainsToZero) {
   EXPECT_EQ(pool.pending(), 0u);
 }
 
+TEST(ThreadPoolTest, HigherPriorityJumpsTheQueue) {
+  // Occupy the single worker with a gated task, queue work at mixed
+  // priorities, then release: the backlog must drain highest-first with
+  // FIFO order inside each priority level.
+  ThreadPool pool(1);
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  auto blocker = pool.submit([open] { open.wait(); });
+
+  std::vector<int> order;
+  std::vector<std::future<void>> futs;
+  for (const int tag : {0, 1, 2}) {
+    futs.push_back(
+        pool.submit_prioritized(0, [tag, &order] { order.push_back(tag); }));
+  }
+  futs.push_back(pool.submit_prioritized(5, [&order] { order.push_back(50); }));
+  futs.push_back(pool.submit_prioritized(1, [&order] { order.push_back(10); }));
+  futs.push_back(pool.submit_prioritized(5, [&order] { order.push_back(51); }));
+  gate.set_value();
+
+  blocker.get();
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(order, (std::vector<int>{50, 51, 10, 0, 1, 2}));
+}
+
 TEST(ThreadPoolTest, ExecutesConcurrentlyWithMultipleWorkers) {
   // Two tasks that each wait for the other to start can only finish if the
   // pool really runs them on distinct threads.
