@@ -99,27 +99,62 @@ void BM_FaultSimulationBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_FaultSimulationBatch)->Unit(benchmark::kMicrosecond);
 
-// The ATPG inner loop proper: grade the whole live fault list against one
-// 64-pattern batch through FaultSimBank. Arg = fault-sim worker threads
+// Grading workload: the scan netlist plus *unobservable* monitor logic —
+// 256 independent inverters, each tapping a primary input and driving a
+// net nothing reads. A full-scan capture model observes every net
+// (num_observable_cone_nets == num_nets), so without this stub the cone
+// filter legitimately never fires and cone_skip_pct reads 0.0 at every
+// job count; the dead taps make the bench exercise (and keep guarding)
+// the observability cut the way real designs with debug/monitor logic do.
+// Independent single-gate cones resist fault-equivalence collapsing, so
+// each contributes its faults to the graded list (a long chain would
+// collapse to a couple of representatives).
+Netlist& grade_netlist_mutable() {
+  static const std::unique_ptr<Netlist> nl = [] {
+    auto n = std::make_unique<Netlist>(scan_netlist());
+    const CellSpec* inv = lib().gate(CellFunc::kInv, 1);
+    const int in_pin = inv->find_pin("A");
+    const int npis = static_cast<int>(n->num_pis());
+    for (int i = 0; i < 256; ++i) {
+      const CellId c = n->add_cell(inv, "deadmon_u" + std::to_string(i));
+      const NetId out = n->add_net("deadmon_n" + std::to_string(i));
+      n->connect(c, in_pin, n->pi_net(i % npis));
+      n->connect(c, inv->output_pin, out);
+    }
+    return n;
+  }();
+  return *nl;
+}
+
+const Netlist& grade_netlist() { return grade_netlist_mutable(); }
+
+// The ATPG inner loop proper: grade the whole live fault list against a
+// fixed budget of 512 patterns per iteration through FaultSimBank — one
+// 512-lane wide batch, the same logical work the scalar substrate did as
+// 8 sequential 64-pattern batches (items_per_second stays in 64-pattern
+// fault-grade units for comparability). Arg = fault-sim worker threads
 // (results are bit-identical across args; only the wall clock moves).
 void BM_FaultGradeLive(benchmark::State& state) {
-  const CombModel model(scan_netlist(), SeqView::kCapture);
+  const CombModel model(grade_netlist(), SeqView::kCapture);
   FaultSimBank bank(model, static_cast<int>(state.range(0)));
+  bank.configure_lanes(kMaxLaneWords);
   FaultList fl = build_fault_list(model);
   std::vector<Fault*> live;
   for (Fault& f : fl.faults) {
     if (f.status != FaultStatus::kScanTested) live.push_back(&f);
   }
   Rng rng(2);
-  std::vector<Word> words(model.input_nets().size());
-  for (auto& w : words) w = rng.next_u64();
-  bank.load_batch(words);
+  std::vector<Word> words(model.input_nets().size() *
+                          static_cast<std::size_t>(kMaxLaneWords));
   std::vector<Word> detect;
   for (auto _ : state) {
+    for (auto& w : words) w = rng.next_u64();
+    bank.load_batch(words);
     bank.grade(live, detect);
     benchmark::DoNotOptimize(detect.data());
   }
-  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(live.size()));
+  state.SetItemsProcessed(state.iterations() * kMaxLaneWords *
+                          static_cast<std::int64_t>(live.size()));
   state.counters["live_faults"] = static_cast<double>(live.size());
   const FaultSimStats s = bank.take_stats();
   state.counters["cone_skip_pct"] =
@@ -247,10 +282,14 @@ const Netlist& miter_netlist() {
   return *m;
 }
 
+// One iteration = 512 lane-frames (8 sequential 64-lane steps on the
+// scalar substrate; one 512-lane wide step on the SIMD one), so pre/post
+// numbers compare equal logical work.
 void BM_MiterSim(benchmark::State& state) {
-  SequentialSim sim(miter_netlist());
+  SequentialSim sim(miter_netlist(), kMaxLaneWords);
   Rng rng(0xB17E);
-  std::vector<Word> pi(sim.model().num_pi_inputs());
+  std::vector<Word> pi(sim.model().num_pi_inputs() *
+                       static_cast<std::size_t>(kMaxLaneWords));
   std::vector<Word> po;
   for (auto _ : state) {
     for (Word& w : pi) w = rng.next_u64();
@@ -260,10 +299,12 @@ void BM_MiterSim(benchmark::State& state) {
 }
 BENCHMARK(BM_MiterSim)->Unit(benchmark::kMicrosecond);
 
+// 8 unroll rounds x 8 frames = 4096 lane-frames per check() — one lockstep
+// group at full lane width on the SIMD substrate.
 void BM_BoundedUnroll(benchmark::State& state) {
   EquivOptions opts;
   opts.random_rounds = 0;  // isolate the unroll engine
-  opts.unroll_rounds = 1;
+  opts.unroll_rounds = 8;
   opts.unroll_frames = 8;
   opts.ternary_frames = 0;
   EquivChecker checker(miter_netlist(), opts);

@@ -20,16 +20,37 @@ double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
-// Pack up to 64 patterns (one per bit) into per-input words.
-void pack_batch(const std::vector<const TestPattern*>& batch, std::size_t num_inputs,
+// Pack up to nw*64 patterns into per-input lane words (input-major):
+// pattern k lands in bit k%64 of words[i*nw + k/64]. Lanes past the
+// pattern count stay zero (phantom all-zero vectors; callers mask them
+// out of detection words).
+void pack_batch(const std::vector<const TestPattern*>& batch, std::size_t num_inputs, int nw,
                 std::vector<Word>& words) {
-  words.assign(num_inputs, 0);
+  words.assign(num_inputs * static_cast<std::size_t>(nw), 0);
   for (std::size_t k = 0; k < batch.size(); ++k) {
     const auto& bits = batch[k]->bits;
+    const std::size_t j = k / kWordBits;
+    const int bit = static_cast<int>(k % kWordBits);
     for (std::size_t i = 0; i < num_inputs; ++i) {
-      words[i] |= static_cast<Word>(bits[i] & 1) << k;
+      words[i * static_cast<std::size_t>(nw) + j] |= static_cast<Word>(bits[i] & 1) << bit;
     }
   }
+}
+
+// Valid-lane mask for lane word j of a batch holding `count` patterns.
+Word lane_mask(std::size_t count, int j) {
+  const std::size_t base = static_cast<std::size_t>(j) * kWordBits;
+  if (count <= base) return 0;
+  const std::size_t lanes = count - base;
+  return lanes >= static_cast<std::size_t>(kWordBits) ? ~Word{0} : (Word{1} << lanes) - 1;
+}
+
+// Largest power-of-two word count covering `remaining` 64-pattern batches,
+// capped at kMaxLaneWords (the super-batch width).
+int super_batch_words(int remaining) {
+  int nw = 1;
+  while (nw * 2 <= kMaxLaneWords && nw * 2 <= remaining) nw *= 2;
+  return nw;
 }
 
 // Live = could still be detected by a pattern: everything but kDetected and
@@ -63,10 +84,10 @@ AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability
   // Reusable batch scaffolding, hoisted out of the per-batch loops: the
   // pattern slots (with their bit vectors), the packed input words and the
   // ref array are allocated once and refilled every batch.
-  std::vector<TestPattern> batch(kWordBits);
+  std::vector<TestPattern> batch(static_cast<std::size_t>(kWordBits) * kMaxLaneWords);
   for (TestPattern& p : batch) p.bits.resize(num_inputs);
   std::vector<const TestPattern*> refs;
-  refs.reserve(kWordBits);
+  refs.reserve(batch.size());
   std::vector<Word> words;
   std::vector<Fault*> live;
   live.reserve(res.faults.faults.size());
@@ -77,7 +98,8 @@ AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability
   auto simulate_and_keep = [&](std::size_t count, AtpgPhaseProfile& phase) {
     refs.clear();
     for (std::size_t k = 0; k < count; ++k) refs.push_back(&batch[k]);
-    pack_batch(refs, num_inputs, words);
+    pack_batch(refs, num_inputs, /*nw=*/1, words);
+    bank.configure_lanes(1);
     bank.load_batch(words);
     const FaultSimBank::DropOutcome out = bank.grade_and_drop(live);
     ++phase.batches;
@@ -86,15 +108,78 @@ AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability
   };
 
   // ---- phase 1: pseudo-random warm-up ----
+  // Super-batched: up to kMaxLaneWords 64-pattern batches are generated,
+  // packed and graded in one wide pass (one net visit grades them all).
+  // The legacy per-batch yield cutoff is replicated from the per-fault
+  // first-detecting lane word: sub-batch s's yield is the equiv count of
+  // kUndetected faults first detected in lane word s, the phase stops at
+  // the first sub-batch whose yield falls below random_min_yield (that
+  // sub-batch's drops and patterns still count, as before), and faults
+  // first detected after the cutoff stay live — their detecting patterns
+  // were never applied.
   const auto t_random = Clock::now();
   {
     TPI_SPAN("atpg.random");
-    for (int b = 0; b < opts.random_batches; ++b) {
-      for (TestPattern& p : batch) {
-        for (auto& bit : p.bits) bit = static_cast<std::uint8_t>(rng.next_bool() ? 1 : 0);
+    std::vector<Word> detect;
+    int b = 0;
+    bool low_yield = false;
+    while (b < opts.random_batches && !low_yield) {
+      const int nb = super_batch_words(opts.random_batches - b);
+      const std::size_t count = static_cast<std::size_t>(nb) * kWordBits;
+      for (std::size_t k = 0; k < count; ++k) {
+        for (auto& bit : batch[k].bits) {
+          bit = static_cast<std::uint8_t>(rng.next_bool() ? 1 : 0);
+        }
       }
-      const FaultSimBank::DropOutcome out = simulate_and_keep(kWordBits, res.profile.random);
-      if (out.equiv_dropped < opts.random_min_yield) break;
+      refs.clear();
+      for (std::size_t k = 0; k < count; ++k) refs.push_back(&batch[k]);
+      pack_batch(refs, num_inputs, nb, words);
+      bank.configure_lanes(nb);
+      bank.load_batch(words);
+      bank.grade(live, detect);
+
+      // Per-sub-batch yields from first-detecting lane words.
+      std::int64_t yields[kMaxLaneWords] = {};
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (live[i]->status != FaultStatus::kUndetected) continue;
+        for (int j = 0; j < nb; ++j) {
+          if (detect[i * static_cast<std::size_t>(nb) + j] != 0) {
+            yields[j] += live[i]->equiv_count;
+            break;
+          }
+        }
+      }
+      int applied = nb;
+      for (int s = 0; s < nb; ++s) {
+        if (yields[s] < opts.random_min_yield) {
+          applied = s + 1;
+          low_yield = true;
+          break;
+        }
+      }
+
+      // Drop faults first detected by an applied sub-batch.
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        int fw = -1;
+        for (int j = 0; j < applied; ++j) {
+          if (detect[i * static_cast<std::size_t>(nb) + j] != 0) {
+            fw = j;
+            break;
+          }
+        }
+        if (fw < 0) {
+          live[w++] = live[i];
+          continue;
+        }
+        live[i]->status = FaultStatus::kDetected;
+      }
+      live.resize(w);
+
+      const std::size_t applied_patterns = static_cast<std::size_t>(applied) * kWordBits;
+      for (std::size_t k = 0; k < applied_patterns; ++k) res.patterns.push_back(batch[k]);
+      res.profile.random.batches += static_cast<std::uint64_t>(applied);
+      b += applied;
     }
   }
   res.profile.random.add(bank.take_stats());
@@ -164,13 +249,20 @@ AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability
     rebuild_live(res.faults, live);
     std::vector<char> keep(res.patterns.size(), 0);
     std::vector<std::size_t> ids;
-    ids.reserve(kWordBits);
+    ids.reserve(static_cast<std::size_t>(kWordBits) * kMaxLaneWords);
     std::vector<Word> detect;
     const std::size_t n = res.patterns.size();
     std::size_t processed = 0;
     while (processed < n) {
-      const std::size_t count = std::min<std::size_t>(kWordBits, n - processed);
-      // Bit k of the batch = pattern (n-1-processed-k): reverse order.
+      // Super-batch: up to kMaxLaneWords x 64 patterns graded per pass.
+      // Lane j*64+k of the batch = pattern (n-1-processed-(j*64+k)), so the
+      // first detecting lane is the first detector in reverse order — the
+      // same pattern the 64-wide loop kept.
+      const std::size_t remaining_words = (n - processed + kWordBits - 1) / kWordBits;
+      const int nw = super_batch_words(
+          static_cast<int>(std::min<std::size_t>(remaining_words, kMaxLaneWords)));
+      const std::size_t count =
+          std::min<std::size_t>(static_cast<std::size_t>(nw) * kWordBits, n - processed);
       refs.clear();
       ids.clear();
       for (std::size_t k = 0; k < count; ++k) {
@@ -178,21 +270,32 @@ AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability
         refs.push_back(&res.patterns[idx]);
         ids.push_back(idx);
       }
-      pack_batch(refs, num_inputs, words);
+      pack_batch(refs, num_inputs, nw, words);
+      bank.configure_lanes(nw);
       bank.load_batch(words);
       bank.grade(live, detect);
-      ++res.profile.compaction.batches;
+      res.profile.compaction.batches += (count + kWordBits - 1) / kWordBits;
       // Merge in fault-list order: a detected fault keeps the first pattern
-      // (in reverse order) that detects it and leaves the live list.
+      // (in reverse order) that detects it and leaves the live list. Lanes
+      // past the pattern count hold phantom all-zero vectors and are
+      // masked out.
       std::size_t w = 0;
       for (std::size_t i = 0; i < live.size(); ++i) {
-        const Word d = detect[i];
-        if (d == 0) {
+        std::size_t lane = count;
+        for (int j = 0; j < nw; ++j) {
+          const Word d = detect[i * static_cast<std::size_t>(nw) + j] & lane_mask(count, j);
+          if (d != 0) {
+            lane = static_cast<std::size_t>(j) * kWordBits +
+                   static_cast<std::size_t>(first_detecting_pattern(d));
+            break;
+          }
+        }
+        if (lane >= count) {
           live[w++] = live[i];
           continue;
         }
         live[i]->status = FaultStatus::kDetected;
-        keep[ids[static_cast<std::size_t>(first_detecting_pattern(d))]] = 1;
+        keep[ids[lane]] = 1;
       }
       live.resize(w);
       processed += count;

@@ -10,11 +10,13 @@
 namespace tpi {
 
 FaultSimulator::FaultSimulator(const CombModel& model) : model_(&model), good_(model) {
-  fval_.assign(model.num_nets(), 0);
-  stamp_.assign(model.num_nets(), 0);
-  queued_.assign(model.nodes().size(), 0);
-  observed_.assign(model.num_nets(), 0);
-  for (const NetId n : model.observe_nets()) observed_[static_cast<std::size_t>(n)] = 1;
+  scratch_.prepare(model, good_.lane_words());
+}
+
+void FaultSimulator::configure_lanes(int lane_words) {
+  if (lane_words == good_.lane_words()) return;
+  good_.configure_lanes(lane_words);
+  scratch_.prepare(*model_, lane_words);
 }
 
 void FaultSimulator::load_batch(const std::vector<Word>& input_words) {
@@ -24,120 +26,52 @@ void FaultSimulator::load_batch(const std::vector<Word>& input_words) {
 
 void FaultSimulator::copy_good_from(const FaultSimulator& other) {
   assert(model_ == other.model_);
+  configure_lanes(other.lane_words());
   good_.assign_values(other.good_.values());
 }
 
-void FaultSimulator::schedule(int node_index) {
-  const auto i = static_cast<std::size_t>(node_index);
-  if (queued_[i] == epoch_) return;
-  queued_[i] = epoch_;
-  ++stats_.events;
-  heap_.push_back(node_index);
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+FaultTask resolve_fault_task(const CombModel& model, const Fault& fault) {
+  FaultTask task;
+  task.net = fault.net;
+  task.stuck1 = fault.stuck1;
+  if (fault.is_stem()) return task;
+  for (const int reader : model.readers_of(fault.net)) {
+    if (model.nodes()[static_cast<std::size_t>(reader)].cell == fault.branch.cell) {
+      task.branch_reader = reader;
+      return task;
+    }
+  }
+  // No logic reader: an FF D-pin branch is captured directly whenever the
+  // good value differs; any other sink (PO branch, scan pin) is dead.
+  const CellSpec* spec = model.netlist().cell(fault.branch.cell).spec;
+  if (spec->sequential && fault.branch.pin == spec->d_pin) {
+    task.direct_capture = true;
+  } else {
+    task.dead_branch = true;
+  }
+  return task;
 }
 
-void FaultSimulator::schedule_readers(NetId net, int skip_node) {
-  for (const int reader : model_->readers_of(net)) {
-    if (reader == skip_node) continue;
-    // Cone limit: never propagate into logic no observe point can see (a
-    // reader's output outside every observe cone implies its whole fanout
-    // cone is outside too, so the cut is complete, not just a heuristic).
-    const NetId out = model_->nodes()[static_cast<std::size_t>(reader)].out;
-    if (out != kNoNet && !model_->net_reaches_observe(out)) continue;
-    schedule(reader);
-  }
+FaultTask FaultSimulator::resolve(const Fault& fault) const {
+  return resolve_fault_task(*model_, fault);
 }
 
 Word FaultSimulator::detects(const Fault& fault) {
-  ++stats_.faults_graded;
-  // Cone limit: a fault whose site reaches no observe net is undetectable
-  // by any pattern of any batch.
-  if (!model_->net_reaches_observe(fault.net)) {
-    ++stats_.cone_skips;
-    return 0;
-  }
-  ++epoch_;
-  heap_.clear();
-  Word detect = 0;
+  Word out[kMaxLaneWords];
+  detects_wide(fault, out);
+  return out[0];
+}
 
-  const Word stuck = fault.stuck1 ? ~Word{0} : Word{0};
-  int branch_reader = -1;
+void FaultSimulator::detects_wide(const Fault& fault, Word* out) {
+  const FaultTask task = resolve(fault);
+  sim_kernels().grade(*model_, scratch_, good_.values().data(), &task, 1, out, stats_);
+}
 
-  if (fault.is_stem()) {
-    const Word g = good_.value(fault.net);
-    if (g == stuck) return 0;  // no pattern activates the fault
-    set_faulty(fault.net, stuck);
-    if (observed_[static_cast<std::size_t>(fault.net)]) detect |= g ^ stuck;
-    schedule_readers(fault.net);
-  } else {
-    // Branch fault: only the one sink pin sees the stuck value. If the sink
-    // is a flip-flop D pin (not a logic node) the fault is directly
-    // captured whenever the good value differs.
-    const CellSpec* spec = model_->netlist().cell(fault.branch.cell).spec;
-    const bool logic_reader = [&] {
-      for (const int reader : model_->readers_of(fault.net)) {
-        if (model_->nodes()[static_cast<std::size_t>(reader)].cell == fault.branch.cell) {
-          branch_reader = reader;
-          return true;
-        }
-      }
-      return false;
-    }();
-    const Word g = good_.value(fault.net);
-    if (g == stuck) return 0;
-    if (!logic_reader) {
-      // FF D-pin branch (or PO branch): captured directly.
-      const bool seq_d = spec->sequential && fault.branch.pin == spec->d_pin;
-      return seq_d ? (g ^ stuck) : 0;
-    }
-    // Evaluate the branch reader with the forced input value.
-    const CombNode& node = model_->nodes()[static_cast<std::size_t>(branch_reader)];
-    if (node.out != kNoNet && !model_->net_reaches_observe(node.out)) {
-      // The branch cone is dead even though the stem has live siblings.
-      ++stats_.cone_skips;
-      return 0;
-    }
-    Word in[4];
-    for (int i = 0; i < node.num_inputs; ++i) {
-      in[i] = node.in[i] == fault.net ? stuck : good_.value(node.in[i]);
-    }
-    Word sel = 0;
-    if (node.sel != kNoNet) sel = node.sel == fault.net ? stuck : good_.value(node.sel);
-    ++stats_.node_evals;
-    const Word out = eval_node_word(node, in, sel);
-    if (node.out == kNoNet || out == good_.value(node.out)) return 0;
-    set_faulty(node.out, out);
-    if (observed_[static_cast<std::size_t>(node.out)]) detect |= out ^ good_.value(node.out);
-    schedule_readers(node.out);
-  }
-
-  // Event-driven propagation in topological order.
-  Word in[4];
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
-    const int ni = heap_.back();
-    heap_.pop_back();
-    const CombNode& node = model_->nodes()[static_cast<std::size_t>(ni)];
-    if (node.out == kNoNet) continue;
-    // The branch-fault injection must persist if the reader re-evaluates.
-    const Word stuck_w = fault.stuck1 ? ~Word{0} : Word{0};
-    const bool inject_here = (ni == branch_reader);
-    for (int i = 0; i < node.num_inputs; ++i) {
-      in[i] = (inject_here && node.in[i] == fault.net) ? stuck_w : faulty_value(node.in[i]);
-    }
-    Word sel = 0;
-    if (node.sel != kNoNet) {
-      sel = (inject_here && node.sel == fault.net) ? stuck_w : faulty_value(node.sel);
-    }
-    ++stats_.node_evals;
-    const Word out = eval_node_word(node, in, sel);
-    if (out == faulty_value(node.out)) continue;  // no change
-    set_faulty(node.out, out);
-    const Word diff = out ^ good_.value(node.out);
-    if (diff != 0 && observed_[static_cast<std::size_t>(node.out)]) detect |= diff;
-    schedule_readers(node.out);
-  }
-  return detect;
+void FaultSimulator::grade(const Fault* const* faults, std::size_t count, Word* detect) {
+  tasks_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) tasks_[i] = resolve(*faults[i]);
+  sim_kernels().grade(*model_, scratch_, good_.values().data(), tasks_.data(), count, detect,
+                      stats_);
 }
 
 Word FaultSimulator::drop_detected(std::vector<Fault*>& faults) {
@@ -165,6 +99,10 @@ FaultSimBank::FaultSimBank(const CombModel& model, int jobs) {
 
 FaultSimBank::~FaultSimBank() = default;
 
+void FaultSimBank::configure_lanes(int lane_words) {
+  for (auto& sim : sims_) sim->configure_lanes(lane_words);
+}
+
 void FaultSimBank::load_batch(const std::vector<Word>& input_words) {
   sims_.front()->load_batch(input_words);
   for (std::size_t i = 1; i < sims_.size(); ++i) sims_[i]->copy_good_from(*sims_.front());
@@ -172,13 +110,13 @@ void FaultSimBank::load_batch(const std::vector<Word>& input_words) {
 
 void FaultSimBank::grade(const std::vector<Fault*>& faults, std::vector<Word>& detect) {
   const std::size_t n = faults.size();
-  detect.resize(n);
+  const std::size_t nw = static_cast<std::size_t>(lane_words());
+  detect.resize(n * nw);
   const std::size_t workers = sims_.size();
   // Tiny lists are not worth the dispatch; the result is identical either
   // way (each fault is graded exactly once, output indexed by position).
   if (pool_ == nullptr || n < static_cast<std::size_t>(kWordBits) * workers) {
-    FaultSimulator& sim = *sims_.front();
-    for (std::size_t i = 0; i < n; ++i) detect[i] = sim.detects(*faults[i]);
+    sims_.front()->grade(faults.data(), n, detect.data());
     return;
   }
   std::vector<std::future<void>> done;
@@ -187,10 +125,9 @@ void FaultSimBank::grade(const std::vector<Fault*>& faults, std::vector<Word>& d
     const std::size_t lo = n * c / workers;
     const std::size_t hi = n * (c + 1) / workers;
     if (lo == hi) continue;
-    done.push_back(pool_->submit([this, &faults, &detect, c, lo, hi] {
+    done.push_back(pool_->submit([this, &faults, &detect, nw, c, lo, hi] {
       TPI_SPAN("atpg.grade_chunk");
-      FaultSimulator& sim = *sims_[c];
-      for (std::size_t i = lo; i < hi; ++i) detect[i] = sim.detects(*faults[i]);
+      sims_[c]->grade(faults.data() + lo, hi - lo, detect.data() + lo * nw);
     }));
   }
   for (auto& f : done) f.get();
@@ -198,18 +135,20 @@ void FaultSimBank::grade(const std::vector<Fault*>& faults, std::vector<Word>& d
 
 FaultSimBank::DropOutcome FaultSimBank::grade_and_drop(std::vector<Fault*>& live) {
   grade(live, detect_buf_);
+  const std::size_t nw = static_cast<std::size_t>(lane_words());
   DropOutcome out;
   std::size_t w = 0;
   for (std::size_t i = 0; i < live.size(); ++i) {
     Fault* f = live[i];
-    const Word d = detect_buf_[i];
-    if (d == 0) {
+    Word any = 0;
+    for (std::size_t j = 0; j < nw; ++j) any |= detect_buf_[i * nw + j];
+    if (any == 0) {
       live[w++] = f;
       continue;
     }
     if (f->status == FaultStatus::kUndetected) out.equiv_dropped += f->equiv_count;
     f->status = FaultStatus::kDetected;
-    out.useful |= first_detecting_bit(d);
+    out.useful |= first_detecting_bit(detect_buf_[i * nw]);
   }
   live.resize(w);
   return out;

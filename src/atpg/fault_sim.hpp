@@ -1,4 +1,4 @@
-// Event-driven, 64-pattern-parallel stuck-at fault simulation.
+// Event-driven, pattern-parallel stuck-at fault simulation.
 //
 // For each fault the simulator diverges a faulty-value overlay from the
 // good-value state and propagates events in topological order through the
@@ -9,6 +9,13 @@
 // Combined with fault dropping this is the workhorse of compact ATPG:
 // every generated pattern (with random fill) is graded against all
 // remaining faults.
+//
+// The hot loops live in the dispatched SIMD kernels (sim/kernels.hpp): a
+// batch is lane_words() x 64 patterns wide, and each net visit grades all
+// of them. The lane width is picked algorithmically by callers (1 for the
+// legacy 64-pattern interface, up to kMaxLaneWords = 8 for super-batches),
+// never from CPU capability, so detection words are bit-identical across
+// kernel backends.
 //
 // FaultSimBank partitions a fault list across per-worker FaultSimulator
 // instances (shared read-only CombModel, per-worker faulty-value scratch)
@@ -22,6 +29,7 @@
 #include <vector>
 
 #include "atpg/fault.hpp"
+#include "sim/kernels.hpp"
 #include "sim/parallel_sim.hpp"
 
 namespace tpi {
@@ -42,43 +50,48 @@ inline int first_detecting_pattern(Word detect) {
   return detect == 0 ? -1 : std::countr_zero(detect);
 }
 
-/// Event counters accumulated by detects(); the ATPG kernel profile sums
-/// them per phase. Totals are independent of the worker count because each
-/// fault is graded exactly once.
-struct FaultSimStats {
-  std::uint64_t faults_graded = 0;  ///< detects() calls
-  std::uint64_t cone_skips = 0;     ///< faults cut by the observability mask
-  std::uint64_t node_evals = 0;     ///< nodes evaluated during propagation
-  std::uint64_t events = 0;         ///< scheduler pushes accepted
-
-  FaultSimStats& operator+=(const FaultSimStats& o) {
-    faults_graded += o.faults_graded;
-    cone_skips += o.cone_skips;
-    node_evals += o.node_evals;
-    events += o.events;
-    return *this;
-  }
-};
+/// Resolve a fault against the model for the grading/forced kernels: find
+/// the branch's logic reader, or classify it as a direct FF-D capture or a
+/// dead branch. Shared by fault simulation and pattern replay.
+FaultTask resolve_fault_task(const CombModel& model, const Fault& fault);
 
 class FaultSimulator {
  public:
   explicit FaultSimulator(const CombModel& model);
 
-  /// Load the good-circuit state for a batch of 64 patterns (words aligned
-  /// with model.input_nets()) and evaluate it.
+  /// Words per net in the current batch layout (1..kMaxLaneWords).
+  int lane_words() const { return good_.lane_words(); }
+  /// Switch the batch width; resets the good state when it changes.
+  void configure_lanes(int lane_words);
+
+  /// Load the good-circuit state for a batch of lane_words() x 64 patterns
+  /// (words input-major, aligned with model.input_nets(): word
+  /// input_words[i*lane_words() + j] is input i, lane word j) and evaluate
+  /// it. With lane_words() == 1 this is the legacy 64-pattern interface.
   void load_batch(const std::vector<Word>& input_words);
 
   /// Adopt another simulator's good-circuit state (same model, same batch)
   /// without re-evaluating it — the parallel bank loads the batch once.
   void copy_good_from(const FaultSimulator& other);
 
+  /// Resolve a fault against the model for the grading kernels.
+  FaultTask resolve(const Fault& fault) const;
+
   /// Word with bit k set iff pattern k of the current batch detects the
-  /// fault (observable difference at a PO or pseudo-PO).
+  /// fault (observable difference at a PO or pseudo-PO). Legacy single-word
+  /// view: with lane_words() > 1 this is lane word 0 only.
   Word detects(const Fault& fault);
+
+  /// All lane words of the detection result: out[0..lane_words()).
+  void detects_wide(const Fault& fault, Word* out);
+
+  /// Grade `count` faults: detect[i*lane_words() + j] is fault i's lane
+  /// word j.
+  void grade(const Fault* const* faults, std::size_t count, Word* detect);
 
   /// Convenience: simulate the batch against `faults`, mark newly detected
   /// faults kDetected and return per-pattern "useful" mask (bit k set iff
-  /// pattern k was the first detector of some fault).
+  /// pattern k was the first detector of some fault). Lane word 0 only.
   Word drop_detected(std::vector<Fault*>& faults);
 
   const ParallelSim& good() const { return good_; }
@@ -87,26 +100,10 @@ class FaultSimulator {
   void reset_stats() { stats_ = {}; }
 
  private:
-  Word faulty_value(NetId net) const {
-    const auto i = static_cast<std::size_t>(net);
-    return stamp_[i] == epoch_ ? fval_[i] : good_.value(net);
-  }
-  void set_faulty(NetId net, Word w) {
-    const auto i = static_cast<std::size_t>(net);
-    fval_[i] = w;
-    stamp_[i] = epoch_;
-  }
-  void schedule_readers(NetId net, int skip_node = -1);
-  void schedule(int node_index);
-
   const CombModel* model_;
   ParallelSim good_;
-  std::vector<Word> fval_;
-  std::vector<std::uint32_t> stamp_;
-  std::uint32_t epoch_ = 0;
-  std::vector<int> heap_;  ///< min-heap of pending node indices (topo order)
-  std::vector<std::uint32_t> queued_;  ///< epoch stamp: node already queued
-  std::vector<char> observed_;         ///< per net: is an observe net
+  FaultScratch scratch_;
+  std::vector<FaultTask> tasks_;  ///< reused per grade() call
   FaultSimStats stats_;
 };
 
@@ -128,24 +125,31 @@ class FaultSimBank {
 
   int jobs() const { return static_cast<int>(sims_.size()); }
 
+  /// Words per net in the current batch layout.
+  int lane_words() const { return sims_.front()->lane_words(); }
+  /// Switch every worker's batch width.
+  void configure_lanes(int lane_words);
+
   /// Worker 0's simulator (serial helpers, tests).
   FaultSimulator& primary() { return *sims_.front(); }
 
-  /// Load + evaluate the batch once, then copy the good state to every
-  /// worker.
+  /// Load + evaluate the batch once (input-major wide layout, see
+  /// FaultSimulator::load_batch), then copy the good state to every worker.
   void load_batch(const std::vector<Word>& input_words);
 
-  /// detects() for every fault: detect[i] = detects(*faults[i]).
+  /// Grade every fault: detect[i*lane_words() + j] = fault i, lane word j.
   void grade(const std::vector<Fault*>& faults, std::vector<Word>& detect);
 
   struct DropOutcome {
     Word useful = 0;  ///< bit k set iff pattern k first-detected some fault
+                      ///< (lane word 0 only; meaningful at lane_words()==1)
     std::int64_t equiv_dropped = 0;  ///< equiv count of ex-kUndetected drops
   };
 
   /// Grade `live`, mark detected faults kDetected and remove them from
   /// `live` (order preserved). Faults in other live states (kRedundant,
-  /// kAborted) stay eligible: simulation evidence overrides them.
+  /// kAborted) stay eligible: simulation evidence overrides them. A fault
+  /// counts as detected when any lane word is nonzero.
   DropOutcome grade_and_drop(std::vector<Fault*>& live);
 
   /// Summed per-worker counters since the last call; resets the workers.

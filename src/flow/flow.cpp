@@ -7,6 +7,7 @@
 #include "circuits/generator.hpp"
 #include "flow/flow_config.hpp"
 #include "layout/placement.hpp"
+#include "sim/simd.hpp"
 #include "util/log.hpp"
 #include "util/trace.hpp"
 #include "verify/miter.hpp"
@@ -160,6 +161,10 @@ bool FlowEngine::run_stage(Stage stage) {
     }
     metrics_.add("flow.stages_run");
     metrics_.set_max("rt.flow.peak_rss_kb", peak_rss_kb());
+    // Physical datapath width of the active kernel backend (64/256/512).
+    // Runtime-prefixed: it varies by host CPU and TPI_SIMD, never the
+    // simulated results, so it stays out of the deterministic snapshot.
+    metrics_.set("rt.sim.lane_width", simd_lane_bits());
   }
   const double wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "sim/simd.hpp"
 #include "util/env.hpp"
 #include "util/json.hpp"
 #include "util/thread_pool.hpp"
@@ -61,6 +62,10 @@ std::optional<std::uint64_t> u64_from_json(const JsonValue& v) {
   }
   if (v.is_string()) return parse_u64(v.as_string());
   return std::nullopt;
+}
+
+bool valid_simd_name(std::string_view name) {
+  return name == "auto" || simd_backend_from_name(name).has_value();
 }
 
 std::optional<long> int_from_json(const JsonValue& v, long lo, long hi) {
@@ -125,6 +130,14 @@ FlowConfig FlowConfig::from_env(const FlowConfig& base) {
   }
   cfg.server_cache_mb =
       static_cast<int>(env_int("TPI_SERVER_CACHE_MB", base.server_cache_mb, 1, 1 << 20));
+  if (const std::optional<std::string> v = env_string("TPI_SIMD")) {
+    if (valid_simd_name(*v)) {
+      cfg.simd = *v;
+    } else {
+      log_warn() << "config: invalid TPI_SIMD=\"" << *v
+                 << "\" (want auto|scalar|avx2|avx512)";
+    }
+  }
   return cfg;
 }
 
@@ -223,6 +236,11 @@ bool FlowConfig::from_json(std::string_view text, const FlowConfig& base, FlowCo
       const std::optional<long> mb = int_from_json(v, 1, 1 << 20);
       if (!mb) return type_error("a cache budget in MiB");
       cfg.server_cache_mb = static_cast<int>(*mb);
+    } else if (key == "simd") {
+      if (!v.is_string() || !valid_simd_name(v.as_string())) {
+        return type_error("\"auto\", \"scalar\", \"avx2\" or \"avx512\"");
+      }
+      cfg.simd = v.as_string();
     } else {
       if (error) *error = "config: unknown key \"" + key + "\"";
       return false;
@@ -267,6 +285,7 @@ std::string FlowConfig::to_json() const {
   if (server_cache_mb != defaults.server_cache_mb) {
     o.set("server_cache_mb", server_cache_mb);
   }
+  if (simd != defaults.simd) o.set("simd", simd);
   return o.serialise();
 }
 
@@ -303,6 +322,10 @@ FuzzOptions FlowConfig::fuzz_options() const {
 void FlowConfig::apply_process_settings() const {
   set_log_level(log_level);
   trace_init_from_env();  // idempotent; arms the TPI_TRACE sink when set
+  // "auto" clears the override so the env/CPU resolution applies; a pinned
+  // name wins over TPI_SIMD for this process (results are identical either
+  // way — the backend only moves wall clock).
+  set_simd_backend(simd == "auto" ? std::nullopt : simd_backend_from_name(simd));
 }
 
 }  // namespace tpi

@@ -10,7 +10,7 @@
 //     TPI_BENCH_JOBS / TPI_ATPG_JOBS / TPI_BENCH_SCALE / TPI_BENCH_JSON /
 //     TPI_TRACE / TPI_LOG_LEVEL (+ TPI_BENCH_VERBOSE alias) /
 //     TPI_FUZZ_SEED / TPI_FUZZ_ITERS / TPI_SERVER_SOCKET /
-//     TPI_SERVER_CACHE_MB are parsed and validated;
+//     TPI_SERVER_CACHE_MB / TPI_SIMD are parsed and validated;
 //   * from JSON             — FlowConfig::from_json(), used by the flow
 //     server's submit RPC and config files.
 //
@@ -70,6 +70,11 @@ struct FlowConfig {
   std::string server_socket = "tpi_server.sock";
   /// Flow-server design-cache budget in MiB (TPI_SERVER_CACHE_MB).
   int server_cache_mb = 256;
+  /// Simulation kernel backend (TPI_SIMD): "auto" dispatches to the widest
+  /// ISA the CPU supports; "scalar" / "avx2" / "avx512" pin it. Results
+  /// are bit-identical across backends — this knob only moves wall clock
+  /// (and lets the parity tests and A/B benchmarks pin a codegen).
+  std::string simd = "auto";
 
   /// Layer every recognised TPI_* environment variable over `base`:
   /// unset variables keep the base value, invalid ones warn (via the
@@ -84,7 +89,7 @@ struct FlowConfig {
   /// "max_patterns", "verify", "layout_driven_reorder",
   /// "timing_driven_tpi", "timing_exclude_slack_ps", "priority",
   /// "bench_jobs", "bench_json", "trace", "log_level", "fuzz_seed",
-  /// "fuzz_iters", "server_socket", "server_cache_mb".
+  /// "fuzz_iters", "server_socket", "server_cache_mb", "simd".
   /// Unknown keys or type mismatches fail with a message in *error
   /// (when non-null) and return false, leaving `out` untouched.
   static bool from_json(std::string_view text, const FlowConfig& base, FlowConfig& out,
@@ -104,8 +109,8 @@ struct FlowConfig {
   /// FuzzOptions with this config's seed/iteration budget applied.
   FuzzOptions fuzz_options() const;
 
-  /// Install the process-wide side of the config: log level now, trace
-  /// sink armed from TPI_TRACE (idempotent).
+  /// Install the process-wide side of the config: log level and SIMD
+  /// backend now, trace sink armed from TPI_TRACE (idempotent).
   void apply_process_settings() const;
 };
 

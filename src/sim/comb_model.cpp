@@ -1,9 +1,46 @@
 #include "sim/comb_model.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <unordered_map>
+
+#include "util/metrics.hpp"
 
 namespace tpi {
+namespace {
+
+/// Ops whose value is invariant under fanin permutation; their hash keys
+/// sort the fanin value classes so A&B and B&A collide.
+bool symmetric_func(CellFunc f) {
+  switch (f) {
+    case CellFunc::kAnd:
+    case CellFunc::kNand:
+    case CellFunc::kOr:
+    case CellFunc::kNor:
+    case CellFunc::kXor:
+    case CellFunc::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Structural-hashing key: [func, num_inputs, in-class x4, sel-class].
+using NodeKey = std::array<std::int32_t, 7>;
+
+struct NodeKeyHash {
+  std::size_t operator()(const NodeKey& k) const {
+    std::size_t h = 1469598103934665603ULL;
+    for (const std::int32_t v : k) {
+      h ^= static_cast<std::size_t>(static_cast<std::uint32_t>(v));
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+}  // namespace
 
 CombModel::CombModel(const Netlist& nl, SeqView view)
     : CombModel(nl, view, levelize(nl, view)) {}
@@ -15,6 +52,7 @@ void CombModel::pad_to_netlist() {
   producer_.resize(nl_->num_nets(), -1);
   readers_.resize(nl_->num_nets());
   reaches_observe_.resize(nl_->num_nets(), 0);
+  observed_.resize(nl_->num_nets(), 0);
 }
 
 CombModel::CombModel(const Netlist& nl, SeqView view, const TopoOrder& topo)
@@ -118,6 +156,82 @@ CombModel::CombModel(const Netlist& nl, SeqView view, const TopoOrder& topo)
   for (const char c : reaches_observe_) {
     num_observable_cone_nets_ += static_cast<std::size_t>(c != 0);
   }
+
+  observed_.assign(nl.num_nets(), 0);
+  for (const NetId n : observe_nets_) observed_[static_cast<std::size_t>(n)] = 1;
+
+  // Structural hashing: assign each net a value class (a representative
+  // net proven to carry the identical word in every good/ternary sweep).
+  // Buffers and transparent TSFFs alias their output to the input's class;
+  // a node whose (op, canonicalised fanin classes) key was already seen
+  // gets copy_of = the first node's output, and full sweeps copy the word
+  // instead of re-evaluating. Constants of the same polarity share one
+  // class. Classes are structural, so they stay valid for ternary sweeps;
+  // they are NOT valid under fault injection, which is why EvalOp keeps
+  // the real op for the grading/forced kernels.
+  std::vector<NetId> cls(nl.num_nets());
+  for (std::size_t i = 0; i < cls.size(); ++i) cls[i] = static_cast<NetId>(i);
+  if (!const0_nets_.empty()) {
+    for (const NetId n : const0_nets_) cls[static_cast<std::size_t>(n)] = const0_nets_.front();
+  }
+  if (!const1_nets_.empty()) {
+    for (const NetId n : const1_nets_) cls[static_cast<std::size_t>(n)] = const1_nets_.front();
+  }
+
+  eval_ops_.reserve(nodes_.size());
+  std::unordered_map<NodeKey, NetId, NodeKeyHash> seen;
+  seen.reserve(nodes_.size() * 2);
+  for (const CombNode& node : nodes_) {
+    EvalOp op;
+    op.out = node.out;
+    op.sel = node.sel;
+    op.func = node.func;
+    op.num_inputs = static_cast<std::uint8_t>(node.num_inputs);
+    for (int i = 0; i < node.num_inputs; ++i) op.in[i] = node.in[i];
+    if (node.out == kNoNet || node.num_inputs == 0) {
+      eval_ops_.push_back(op);
+      continue;
+    }
+    if (node.func == CellFunc::kBuf || node.func == CellFunc::kClkBuf ||
+        node.func == CellFunc::kTsff) {
+      // Pure pass-through: alias the class, no dedup counted.
+      if (node.in[0] != kNoNet) {
+        cls[static_cast<std::size_t>(node.out)] = cls[static_cast<std::size_t>(node.in[0])];
+      }
+      eval_ops_.push_back(op);
+      continue;
+    }
+    NodeKey key{};
+    key[0] = static_cast<std::int32_t>(node.func);
+    key[1] = node.num_inputs;
+    for (int i = 0; i < node.num_inputs; ++i) {
+      key[2 + i] =
+          node.in[i] == kNoNet ? -1 : static_cast<std::int32_t>(cls[static_cast<std::size_t>(node.in[i])]);
+    }
+    for (int i = node.num_inputs; i < 4; ++i) key[2 + i] = -1;
+    key[6] = node.sel == kNoNet ? -1 : static_cast<std::int32_t>(cls[static_cast<std::size_t>(node.sel)]);
+    if (symmetric_func(node.func)) {
+      // Canonicalise fanin order (at most four classes; open-coded to keep
+      // GCC's std::sort array-bounds analysis out of the picture).
+      for (int i = 1; i < node.num_inputs; ++i) {
+        const std::int32_t v = key[static_cast<std::size_t>(2 + i)];
+        int j = i - 1;
+        while (j >= 0 && key[static_cast<std::size_t>(2 + j)] > v) {
+          key[static_cast<std::size_t>(2 + j + 1)] = key[static_cast<std::size_t>(2 + j)];
+          --j;
+        }
+        key[static_cast<std::size_t>(2 + j + 1)] = v;
+      }
+    }
+    const auto [it, inserted] = seen.emplace(key, node.out);
+    if (!inserted) {
+      op.copy_of = it->second;
+      cls[static_cast<std::size_t>(node.out)] = cls[static_cast<std::size_t>(it->second)];
+      ++nodes_deduped_;
+    }
+    eval_ops_.push_back(op);
+  }
+  metrics().add("comb.nodes_deduped", nodes_deduped_);
 }
 
 }  // namespace tpi

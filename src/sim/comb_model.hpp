@@ -8,6 +8,7 @@
 // on; in the application view TSFFs appear as transparent nodes.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "netlist/levelize.hpp"
@@ -23,6 +24,22 @@ struct CombNode {
   NetId sel = kNoNet;      ///< MUX2 select
   NetId out = kNoNet;
   int level = 0;
+};
+
+/// Compact evaluation record consumed by the simulation kernels, 1:1 with
+/// nodes() (same index space as producer_of/readers_of). copy_of is the
+/// structural-hashing shortcut: when valid, this node's output carries the
+/// same good/ternary value as that earlier net, so full sweeps copy one
+/// word instead of re-evaluating the op. The real func/in/sel are always
+/// kept — fault injection invalidates value equality, so the grading and
+/// forced-replay kernels evaluate every op.
+struct EvalOp {
+  NetId out = kNoNet;
+  NetId in[4] = {kNoNet, kNoNet, kNoNet, kNoNet};
+  NetId sel = kNoNet;
+  NetId copy_of = kNoNet;  ///< earlier net with the identical value, or kNoNet
+  CellFunc func = CellFunc::kBuf;
+  std::uint8_t num_inputs = 0;
 };
 
 class CombModel {
@@ -49,6 +66,13 @@ class CombModel {
   bool acyclic() const { return acyclic_; }
 
   const std::vector<CombNode>& nodes() const { return nodes_; }
+
+  /// Kernel evaluation records, 1:1 with nodes().
+  const std::vector<EvalOp>& eval_ops() const { return eval_ops_; }
+  /// Nodes whose output was proven value-identical to an earlier net by
+  /// structural hashing (op + canonicalised fanin value classes); also
+  /// published as the `comb.nodes_deduped` metric.
+  std::size_t nodes_deduped() const { return nodes_deduped_; }
 
   /// Node index computing each net, or −1 (inputs, constants, boundaries).
   int producer_of(NetId net) const { return producer_[static_cast<std::size_t>(net)]; }
@@ -84,6 +108,9 @@ class CombModel {
   bool net_reaches_observe(NetId net) const {
     return reaches_observe_[static_cast<std::size_t>(net)] != 0;
   }
+  /// True when `net` is itself an observe net (a PO or pseudo-PO); O(1)
+  /// table the grading kernel uses instead of scanning observe_nets().
+  bool is_observe_net(NetId net) const { return observed_[static_cast<std::size_t>(net)] != 0; }
   /// Nets with net_reaches_observe() set (diagnostics for the cone mask).
   std::size_t num_observable_cone_nets() const { return num_observable_cone_nets_; }
 
@@ -92,6 +119,8 @@ class CombModel {
   SeqView view_;
   bool acyclic_ = true;
   std::vector<CombNode> nodes_;
+  std::vector<EvalOp> eval_ops_;
+  std::size_t nodes_deduped_ = 0;
   std::vector<int> producer_;
   std::vector<std::vector<int>> readers_;
   std::vector<NetId> input_nets_;
@@ -102,6 +131,7 @@ class CombModel {
   std::vector<NetId> const0_nets_;
   std::vector<NetId> const1_nets_;
   std::vector<char> reaches_observe_;
+  std::vector<char> observed_;
   std::size_t num_observable_cone_nets_ = 0;
   int max_level_ = 0;
 };

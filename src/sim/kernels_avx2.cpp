@@ -1,0 +1,12 @@
+// AVX2 kernel backend: the same word loops as the scalar TU, compiled with
+// -mavx2 so the 4/8-word cases vectorise to 256-bit ops. Built only when
+// the compiler accepts the flag; selected at runtime only when the CPU
+// reports AVX2 (see simd.cpp).
+#define TPI_SIMD_IMPL_NS simd_impl_avx2
+#include "sim/kernels_impl.hpp"
+
+namespace tpi {
+
+const SimKernels& sim_kernels_avx2() { return simd_impl_avx2::kernels(); }
+
+}  // namespace tpi

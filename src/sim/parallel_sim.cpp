@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "sim/kernels.hpp"
 #include "util/metrics.hpp"
 
 namespace tpi {
@@ -39,42 +40,52 @@ Word eval_node_word(const CombNode& node, const Word* in, Word sel) {
   }
 }
 
-ParallelSim::ParallelSim(const CombModel& model) : model_(&model) {
-  value_.assign(model.num_nets(), 0);
-  for (const NetId n : model.const1_nets()) value_[static_cast<std::size_t>(n)] = ~Word{0};
+ParallelSim::ParallelSim(const CombModel& model, int lane_words)
+    : model_(&model), nw_(lane_words) {
+  assert(nw_ >= 1 && nw_ <= kMaxLaneWords);
+  reset_values();
 }
 
-void ParallelSim::load_inputs(const std::vector<Word>& words) {
+void ParallelSim::configure_lanes(int lane_words) {
+  assert(lane_words >= 1 && lane_words <= kMaxLaneWords);
+  if (lane_words == nw_) return;
+  nw_ = lane_words;
+  reset_values();
+}
+
+void ParallelSim::reset_values() {
+  value_.assign(model_->num_nets() * static_cast<std::size_t>(nw_), 0);
+  for (const NetId n : model_->const1_nets()) {
+    Word* w = words(n);
+    for (int j = 0; j < nw_; ++j) w[j] = ~Word{0};
+  }
+}
+
+void ParallelSim::load_inputs(const std::vector<Word>& in) {
   const auto& nets = model_->input_nets();
-  assert(words.size() == nets.size());
+  assert(in.size() == nets.size() * static_cast<std::size_t>(nw_));
   for (std::size_t i = 0; i < nets.size(); ++i) {
-    value_[static_cast<std::size_t>(nets[i])] = words[i];
+    Word* w = words(nets[i]);
+    for (int j = 0; j < nw_; ++j) w[j] = in[i * static_cast<std::size_t>(nw_) + j];
   }
 }
 
 void ParallelSim::run() {
-  Word in[4] = {0, 0, 0, 0};
-  for (const CombNode& node : model_->nodes()) {
-    for (int i = 0; i < node.num_inputs; ++i) {
-      in[i] = value_[static_cast<std::size_t>(node.in[i])];
-    }
-    const Word sel = node.sel != kNoNet ? value_[static_cast<std::size_t>(node.sel)] : 0;
-    if (node.out != kNoNet) {
-      value_[static_cast<std::size_t>(node.out)] = eval_node_word(node, in, sel);
-    }
-  }
+  sim_kernels().sweep(*model_, value_.data(), nw_);
   // One registry touch per full sweep, not per node: good-value simulation
-  // runs once per 64-pattern batch, so this stays off the hot path.
+  // runs once per pattern batch, so this stays off the hot path. Deduped
+  // nodes are copies, not evaluations.
   MetricsRegistry& m = metrics();
   m.add("sim.good_sweeps");
-  m.add("sim.good_node_evals", model_->nodes().size());
+  m.add("sim.good_node_evals", model_->nodes().size() - model_->nodes_deduped());
 }
 
 void ParallelSim::read_observes(std::vector<Word>& out) const {
   const auto& nets = model_->observe_nets();
-  out.resize(nets.size());
+  out.resize(nets.size() * static_cast<std::size_t>(nw_));
   for (std::size_t i = 0; i < nets.size(); ++i) {
-    out[i] = value_[static_cast<std::size_t>(nets[i])];
+    const Word* w = words(nets[i]);
+    for (int j = 0; j < nw_; ++j) out[i * static_cast<std::size_t>(nw_) + j] = w[j];
   }
 }
 

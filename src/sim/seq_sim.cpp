@@ -4,39 +4,54 @@
 
 namespace tpi {
 
-SequentialSim::SequentialSim(const Netlist& nl)
+SequentialSim::SequentialSim(const Netlist& nl, int lane_words)
     : owned_model_(std::in_place, nl, SeqView::kApplication),
       model_(&*owned_model_),
-      sim_(*model_) {
+      sim_(*model_, lane_words) {
   reset();
 }
 
-SequentialSim::SequentialSim(const CombModel& model)
-    : model_(&model), sim_(*model_) {
+SequentialSim::SequentialSim(const CombModel& model, int lane_words)
+    : model_(&model), sim_(*model_, lane_words) {
   assert(model.view() == SeqView::kApplication);
   reset();
 }
 
-void SequentialSim::reset() { state_.assign(model_->boundary_ffs().size(), 0); }
+void SequentialSim::configure_lanes(int lane_words) {
+  if (lane_words == sim_.lane_words()) return;
+  sim_.configure_lanes(lane_words);
+  reset();
+}
+
+void SequentialSim::reset() {
+  state_.assign(model_->boundary_ffs().size() * static_cast<std::size_t>(sim_.lane_words()), 0);
+}
 
 void SequentialSim::step(const std::vector<Word>& pi_words, std::vector<Word>& po_words) {
-  assert(pi_words.size() == model_->num_pi_inputs());
+  const std::size_t nw = static_cast<std::size_t>(sim_.lane_words());
+  assert(pi_words.size() == model_->num_pi_inputs() * nw);
+  assert(state_.size() == model_->boundary_ffs().size() * nw);
   const auto& inputs = model_->input_nets();
   for (std::size_t i = 0; i < model_->num_pi_inputs(); ++i) {
-    sim_.set_value(inputs[i], pi_words[i]);
+    Word* w = sim_.words(inputs[i]);
+    for (std::size_t j = 0; j < nw; ++j) w[j] = pi_words[i * nw + j];
   }
-  for (std::size_t i = 0; i < state_.size(); ++i) {
-    sim_.set_value(inputs[model_->num_pi_inputs() + i], state_[i]);
+  const std::size_t nff = model_->boundary_ffs().size();
+  for (std::size_t i = 0; i < nff; ++i) {
+    Word* w = sim_.words(inputs[model_->num_pi_inputs() + i]);
+    for (std::size_t j = 0; j < nw; ++j) w[j] = state_[i * nw + j];
   }
   sim_.run();
-  po_words.resize(model_->num_po_observes());
+  po_words.resize(model_->num_po_observes() * nw);
   const auto& observes = model_->observe_nets();
   for (std::size_t i = 0; i < model_->num_po_observes(); ++i) {
-    po_words[i] = sim_.value(observes[i]);
+    const Word* w = sim_.words(observes[i]);
+    for (std::size_t j = 0; j < nw; ++j) po_words[i * nw + j] = w[j];
   }
   // Next state: D values of the boundary flip-flops.
-  for (std::size_t i = 0; i < state_.size(); ++i) {
-    state_[i] = sim_.value(observes[model_->num_po_observes() + i]);
+  for (std::size_t i = 0; i < nff; ++i) {
+    const Word* w = sim_.words(observes[model_->num_po_observes() + i]);
+    for (std::size_t j = 0; j < nw; ++j) state_[i * nw + j] = w[j];
   }
 }
 

@@ -1,0 +1,51 @@
+// SIMD backend selection for the bit-parallel simulation kernels.
+//
+// All hot kernels (good-value sweep, event-driven fault grading, forced
+// replay resimulation, two-plane ternary sweep) are written once as plain
+// uint64_t loops over NW words per net (kernels_impl.hpp) and compiled
+// three times: once at baseline ISA, once with -mavx2 and once with
+// -mavx512f/bw/dq/vl. The compiler auto-vectorises the NW-word loops into
+// 256-/512-bit operations; the *logical* lane count of every pass is fixed
+// by the algorithms (kMaxLaneWords super-batches everywhere), so results
+// are bit-identical across backends by construction — only the wall clock
+// moves. Runtime dispatch picks the widest backend the CPU supports,
+// overridable by TPI_SIMD={auto,scalar,avx2,avx512} or programmatically
+// (FlowConfig's `simd` knob, the parity tests).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace tpi {
+
+enum class SimdBackend { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Widest super-batch width in 64-bit words: every wide pass grades
+/// kMaxLaneWords * 64 = 512 patterns/lanes per net visit, independent of
+/// the backend executing it (that is what keeps results bit-identical).
+inline constexpr int kMaxLaneWords = 8;
+
+/// True when `b` was compiled in AND the running CPU supports it. kScalar
+/// is always available.
+bool simd_backend_available(SimdBackend b);
+
+/// The backend the kernels currently dispatch to: the programmatic
+/// override if set, else TPI_SIMD from the environment, else the widest
+/// available. A requested-but-unavailable backend warns once and falls
+/// back to the widest available one.
+SimdBackend simd_backend();
+
+/// Install (or clear, with nullopt) the process-wide backend override.
+/// Takes effect on the next kernel dispatch; intended for FlowConfig and
+/// the cross-backend parity tests. Not meant to be flipped while
+/// simulations are in flight on other threads.
+void set_simd_backend(std::optional<SimdBackend> backend);
+
+/// Physical datapath width of the active backend in bits (64/256/512);
+/// exported as the "rt.sim.lane_width" gauge.
+int simd_lane_bits();
+
+const char* simd_backend_name(SimdBackend b);
+std::optional<SimdBackend> simd_backend_from_name(std::string_view name);
+
+}  // namespace tpi

@@ -5,8 +5,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/kernels.hpp"
 #include "sim/seq_sim.hpp"
-#include "sim/ternary.hpp"
+#include "sim/ternary_planes.hpp"
 #include "util/rng.hpp"
 
 namespace tpi {
@@ -19,6 +20,15 @@ std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+/// Largest power of two <= min(kMaxLaneWords, remaining): the lockstep
+/// group width is picked from the round budget alone (never from CPU
+/// capability), so verdicts are bit-identical across kernel backends.
+int group_width(int remaining) {
+  int nw = 1;
+  while (nw * 2 <= kMaxLaneWords && nw * 2 <= remaining) nw *= 2;
+  return nw;
 }
 
 /// Single-lane replay of a trace; returns the first frame where any real PO
@@ -86,15 +96,17 @@ EquivResult EquivChecker::check() {
   EquivResult res;
   CexTrace cex;
   bool found = false;
-  for (int r = 0; !found && r < opts_.random_rounds; ++r) {
-    found = sim_round(mix_seed(opts_.seed, 0x1000u + static_cast<unsigned>(r)),
-                      opts_.frames_per_round, /*random_init=*/false, "random", &cex,
-                      &res.frames_simulated);
+  for (int r = 0; !found && r < opts_.random_rounds;) {
+    const int nb = group_width(opts_.random_rounds - r);
+    found = sim_group(0x1000u, r, nb, opts_.frames_per_round, /*random_init=*/false, "random",
+                      &cex, &res.frames_simulated);
+    r += nb;
   }
-  for (int r = 0; !found && r < opts_.unroll_rounds; ++r) {
-    found = sim_round(mix_seed(opts_.seed, 0x2000u + static_cast<unsigned>(r)),
-                      opts_.unroll_frames, /*random_init=*/true, "unroll", &cex,
-                      &res.frames_simulated);
+  for (int r = 0; !found && r < opts_.unroll_rounds;) {
+    const int nb = group_width(opts_.unroll_rounds - r);
+    found = sim_group(0x2000u, r, nb, opts_.unroll_frames, /*random_init=*/true, "unroll",
+                      &cex, &res.frames_simulated);
+    r += nb;
   }
   if (!found && opts_.ternary_frames > 0) {
     bool proven = false;
@@ -112,105 +124,196 @@ EquivResult EquivChecker::check() {
 
 bool EquivChecker::replay(const CexTrace& cex) const { return fail_frame_of(model_, cex) >= 0; }
 
-bool EquivChecker::sim_round(std::uint64_t round_seed, int frames, bool random_init,
-                             const char* source, CexTrace* cex,
+bool EquivChecker::sim_group(std::uint64_t base_salt, int first_round, int num_rounds,
+                             int frames, bool random_init, const char* source, CexTrace* cex,
                              std::int64_t* frames_simulated) const {
-  Rng rng(round_seed);
-  SequentialSim sim(model_);
+  // One lane word per round: round (first_round + j) owns lane word j and
+  // keeps its own Rng stream, seeded exactly as the one-round-at-a-time
+  // engine seeded it — lockstepping the group changes the wall clock,
+  // never the draws, the winning round, or the counterexample.
+  const std::size_t nw = static_cast<std::size_t>(num_rounds);
+  std::vector<Rng> rngs;
+  rngs.reserve(nw);
+  for (std::size_t j = 0; j < nw; ++j) {
+    rngs.emplace_back(
+        mix_seed(opts_.seed, base_salt + static_cast<unsigned>(first_round) + j));
+  }
+  SequentialSim sim(model_, num_rounds);
+  const std::size_t nff = model_.boundary_ffs().size();
   std::vector<Word> init_words;
   if (random_init) {
-    init_words.resize(model_.boundary_ffs().size());
-    for (std::size_t i = 0; i < init_words.size(); ++i) {
+    init_words.resize(nff * nw);
+    for (std::size_t i = 0; i < nff; ++i) {
       const int pair = state_pair_[i];
-      if (pair >= 0 && pair < static_cast<int>(i)) {
-        init_words[i] = init_words[static_cast<std::size_t>(pair)];
-      } else {
-        init_words[i] = rng.next_u64();
+      for (std::size_t j = 0; j < nw; ++j) {
+        init_words[i * nw + j] = (pair >= 0 && pair < static_cast<int>(i))
+                                     ? init_words[static_cast<std::size_t>(pair) * nw + j]
+                                     : rngs[j].next_u64();
       }
     }
     sim.set_state(init_words);
   }
   std::vector<std::vector<Word>> pi_history;
-  std::vector<Word> pi_words(model_.num_pi_inputs());
+  std::vector<Word> pi_words(model_.num_pi_inputs() * nw);
   std::vector<Word> po_words;
-  for (int f = 0; f < frames; ++f) {
-    for (Word& w : pi_words) w = rng.next_u64();
+  std::vector<int> first_fail(nw, -1);
+  std::vector<Word> fail_word(nw, 0);
+  bool all_failed = false;
+  for (int f = 0; f < frames && !all_failed; ++f) {
+    for (std::size_t i = 0; i < model_.num_pi_inputs(); ++i) {
+      for (std::size_t j = 0; j < nw; ++j) pi_words[i * nw + j] = rngs[j].next_u64();
+    }
     pi_history.push_back(pi_words);
     sim.step(pi_words, po_words);
-    ++*frames_simulated;
-    Word fail = 0;
-    for (const Word w : po_words) fail |= w;
-    if (fail == 0) continue;
-    const int lane = std::countr_zero(fail);
-    cex->source = source;
-    cex->fail_frame = f;
-    cex->pi_frames.clear();
-    for (const auto& frame : pi_history) {
-      std::vector<std::uint8_t> bits(frame.size());
-      for (std::size_t i = 0; i < frame.size(); ++i) {
-        bits[i] = static_cast<std::uint8_t>((frame[i] >> lane) & 1u);
-      }
-      cex->pi_frames.push_back(std::move(bits));
-    }
-    cex->initial_state.clear();
-    if (random_init) {
-      cex->initial_state.resize(init_words.size());
-      for (std::size_t i = 0; i < init_words.size(); ++i) {
-        cex->initial_state[i] = static_cast<std::uint8_t>((init_words[i] >> lane) & 1u);
+    all_failed = true;
+    for (std::size_t j = 0; j < nw; ++j) {
+      if (first_fail[j] >= 0) continue;
+      Word fail = 0;
+      for (std::size_t i = 0; i < model_.num_po_observes(); ++i) fail |= po_words[i * nw + j];
+      if (fail != 0) {
+        first_fail[j] = f;
+        fail_word[j] = fail;
+      } else {
+        all_failed = false;
       }
     }
-    return true;
   }
-  return false;
+  // The winner is the lowest round index with a failure — exactly the round
+  // the sequential engine stops at. A lower-index round failing at a later
+  // frame still wins over a higher-index early failure, which is why the
+  // frame loop cannot stop at the first failure it sees.
+  int winner = -1;
+  for (std::size_t j = 0; j < nw; ++j) {
+    if (first_fail[j] >= 0) {
+      winner = static_cast<int>(j);
+      break;
+    }
+  }
+  if (winner < 0) {
+    *frames_simulated += static_cast<std::int64_t>(num_rounds) * frames;
+    return false;
+  }
+  // Rounds before the winner ran their full budget, the winner stopped at
+  // its first failing frame, later rounds never ran — the same accounting
+  // the sequential engine reported.
+  *frames_simulated += static_cast<std::int64_t>(winner) * frames + first_fail[winner] + 1;
+  const std::size_t w = static_cast<std::size_t>(winner);
+  const int lane = std::countr_zero(fail_word[w]);
+  cex->source = source;
+  cex->fail_frame = first_fail[w];
+  cex->pi_frames.clear();
+  for (int f = 0; f <= first_fail[w]; ++f) {
+    const auto& frame = pi_history[static_cast<std::size_t>(f)];
+    std::vector<std::uint8_t> bits(model_.num_pi_inputs());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      bits[i] = static_cast<std::uint8_t>((frame[i * nw + w] >> lane) & 1u);
+    }
+    cex->pi_frames.push_back(std::move(bits));
+  }
+  cex->initial_state.clear();
+  if (random_init) {
+    cex->initial_state.resize(nff);
+    for (std::size_t i = 0; i < nff; ++i) {
+      cex->initial_state[i] = static_cast<std::uint8_t>((init_words[i * nw + w] >> lane) & 1u);
+    }
+  }
+  return true;
 }
 
 bool EquivChecker::ternary_round(std::uint64_t round_seed, int frames, bool* proven,
                                  CexTrace* cex, std::int64_t* frames_simulated) const {
+  // Full-width two-plane pass: kMaxLaneWords x 64 independent random input
+  // trajectories, every one from the all-X initial state. A definite 1 in
+  // any lane is a counterexample valid from reset; a proof means the miter
+  // output was a definite 0 in every lane of every frame.
+  using Enc = TernEncoding;
+  constexpr std::size_t nw = static_cast<std::size_t>(kMaxLaneWords);
   Rng rng(round_seed);
-  std::vector<Tern> value(model_.num_nets(), Tern::kX);
-  std::vector<Tern> state(model_.boundary_ffs().size(), Tern::kX);
+  const std::size_t nets = static_cast<std::size_t>(model_.num_nets());
+  std::vector<Word> plane_p(nets * nw, 0);
+  std::vector<Word> plane_q(nets * nw, 0);  // (0,0) == X in both encodings
+  const std::size_t nff = model_.boundary_ffs().size();
+  std::vector<Word> state_p(nff * nw, 0);
+  std::vector<Word> state_q(nff * nw, 0);
+  for (const NetId n : model_.const0_nets()) {
+    for (std::size_t j = 0; j < nw; ++j) {
+      Enc::zero(plane_p[static_cast<std::size_t>(n) * nw + j],
+                plane_q[static_cast<std::size_t>(n) * nw + j]);
+    }
+  }
+  for (const NetId n : model_.const1_nets()) {
+    for (std::size_t j = 0; j < nw; ++j) {
+      Enc::one(plane_p[static_cast<std::size_t>(n) * nw + j],
+               plane_q[static_cast<std::size_t>(n) * nw + j]);
+    }
+  }
   const auto& inputs = model_.input_nets();
   const auto& observes = model_.observe_nets();
-  std::vector<std::vector<std::uint8_t>> pi_history;
+  const SimKernels& kernels = sim_kernels();
+  std::vector<std::vector<Word>> pi_history;
+  std::vector<Word> pi_bits(model_.num_pi_inputs() * nw);
   bool all_zero = true;
   for (int f = 0; f < frames; ++f) {
-    for (const NetId n : model_.const0_nets()) value[static_cast<std::size_t>(n)] = Tern::k0;
-    for (const NetId n : model_.const1_nets()) value[static_cast<std::size_t>(n)] = Tern::k1;
-    std::vector<std::uint8_t> bits(model_.num_pi_inputs());
-    for (std::size_t i = 0; i < bits.size(); ++i) {
-      bits[i] = rng.next_bool() ? 1 : 0;
-      value[static_cast<std::size_t>(inputs[i])] = bits[i] != 0 ? Tern::k1 : Tern::k0;
-    }
-    pi_history.push_back(std::move(bits));
-    for (std::size_t i = 0; i < state.size(); ++i) {
-      value[static_cast<std::size_t>(inputs[model_.num_pi_inputs() + i])] = state[i];
-    }
-    for (const CombNode& node : model_.nodes()) {
-      Tern in[4] = {Tern::kX, Tern::kX, Tern::kX, Tern::kX};
-      for (int k = 0; k < node.num_inputs; ++k) {
-        in[k] = value[static_cast<std::size_t>(node.in[k])];
+    for (std::size_t i = 0; i < model_.num_pi_inputs(); ++i) {
+      const std::size_t base = static_cast<std::size_t>(inputs[i]) * nw;
+      for (std::size_t j = 0; j < nw; ++j) {
+        const Word bits = rng.next_u64();
+        pi_bits[i * nw + j] = bits;
+        Enc::from_bits(bits, plane_p[base + j], plane_q[base + j]);
       }
-      const Tern sel =
-          node.sel == kNoNet ? Tern::kX : value[static_cast<std::size_t>(node.sel)];
-      value[static_cast<std::size_t>(node.out)] = eval_node_tern(node, in, sel);
     }
+    pi_history.push_back(pi_bits);
+    for (std::size_t i = 0; i < nff; ++i) {
+      const std::size_t base =
+          static_cast<std::size_t>(inputs[model_.num_pi_inputs() + i]) * nw;
+      for (std::size_t j = 0; j < nw; ++j) {
+        plane_p[base + j] = state_p[i * nw + j];
+        plane_q[base + j] = state_q[i * nw + j];
+      }
+    }
+    kernels.tern_sweep(model_, plane_p.data(), plane_q.data(), static_cast<int>(nw));
     ++*frames_simulated;
-    Tern out = Tern::k0;
-    for (std::size_t i = 0; i < model_.num_po_observes(); ++i) {
-      out = tern_or(out, value[static_cast<std::size_t>(observes[i])]);
+    int fail_j = -1;
+    Word fail = 0;
+    for (std::size_t j = 0; j < nw && fail_j < 0; ++j) {
+      Word ones = 0;
+      Word known0 = ~Word{0};
+      for (std::size_t i = 0; i < model_.num_po_observes(); ++i) {
+        const std::size_t base = static_cast<std::size_t>(observes[i]) * nw;
+        ones |= Enc::ones(plane_p[base + j], plane_q[base + j]);
+        known0 &= Enc::zeros(plane_p[base + j], plane_q[base + j]);
+      }
+      if (known0 != ~Word{0}) all_zero = false;
+      if (ones != 0) {
+        fail_j = static_cast<int>(j);
+        fail = ones;
+      }
     }
-    if (out == Tern::k1) {
+    if (fail_j >= 0) {
       // A definite 1 under an all-X state fires under EVERY initial state,
       // so the trace is valid from reset too — initial_state stays empty.
+      const std::size_t w = static_cast<std::size_t>(fail_j);
+      const int lane = std::countr_zero(fail);
       cex->source = "ternary";
       cex->fail_frame = f;
-      cex->pi_frames = std::move(pi_history);
+      cex->pi_frames.clear();
+      for (const auto& frame : pi_history) {
+        std::vector<std::uint8_t> bits(model_.num_pi_inputs());
+        for (std::size_t i = 0; i < bits.size(); ++i) {
+          bits[i] = static_cast<std::uint8_t>((frame[i * nw + w] >> lane) & 1u);
+        }
+        cex->pi_frames.push_back(std::move(bits));
+      }
       cex->initial_state.clear();
       return true;
     }
-    if (out != Tern::k0) all_zero = false;
-    for (std::size_t i = 0; i < state.size(); ++i) {
-      state[i] = value[static_cast<std::size_t>(observes[model_.num_po_observes() + i])];
+    for (std::size_t i = 0; i < nff; ++i) {
+      const std::size_t base =
+          static_cast<std::size_t>(observes[model_.num_po_observes() + i]) * nw;
+      for (std::size_t j = 0; j < nw; ++j) {
+        state_p[i * nw + j] = plane_p[base + j];
+        state_q[i * nw + j] = plane_q[base + j];
+      }
     }
   }
   *proven = all_zero;

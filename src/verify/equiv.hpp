@@ -16,6 +16,16 @@
 //     silent on that sequence for EVERY initial state; if it evaluates to
 //     a definite 1, that is a counterexample valid from reset too.
 //
+// Rounds of engines 1 and 2 run in lockstep groups on the SIMD substrate:
+// up to kMaxLaneWords rounds share one wide SequentialSim (one lane word
+// per round, each with its own Rng stream seeded as if run alone), so a
+// group sweeps every node once for up to 512 lanes instead of once per
+// round. The verdict, counterexample, and frames_simulated accounting are
+// bit-identical to running the rounds one at a time — the winner is the
+// lowest round index that fails, at its first failing frame. The ternary
+// engine runs kMaxLaneWords x 64 two-plane trajectories per sweep
+// (sim/ternary_planes.hpp); its proof covers all of them.
+//
 // A mismatch yields a CexTrace (initial state + per-frame PI vectors) that
 // can be replayed and shrunk: frames are dropped greedily, then set PI and
 // state bits are cleared to 0 while the mismatch persists.
@@ -81,8 +91,12 @@ class EquivChecker {
   const CombModel& model() const { return model_; }
 
  private:
-  bool sim_round(std::uint64_t round_seed, int frames, bool random_init, const char* source,
-                 CexTrace* cex, std::int64_t* frames_simulated) const;
+  /// Run rounds [first_round, first_round + num_rounds) of one engine in
+  /// lockstep (num_rounds = a power of two <= kMaxLaneWords, one lane word
+  /// per round; round seeds mix_seed(seed, base_salt + round)).
+  bool sim_group(std::uint64_t base_salt, int first_round, int num_rounds, int frames,
+                 bool random_init, const char* source, CexTrace* cex,
+                 std::int64_t* frames_simulated) const;
   bool ternary_round(std::uint64_t round_seed, int frames, bool* proven, CexTrace* cex,
                      std::int64_t* frames_simulated) const;
 

@@ -2,64 +2,19 @@
 
 #include <algorithm>
 
+#include "atpg/fault_sim.hpp"
+#include "sim/kernels.hpp"
 #include "sim/parallel_sim.hpp"
 
 namespace tpi {
 namespace {
 
-/// Detection word for one fault over one 64-pattern batch, by full-sweep
-/// forced resimulation. Semantics match FaultSimulator::detects(): a stem
-/// forces the site net everywhere; a branch forces it only at the one
-/// reading node of the faulted cell; a branch on a flip-flop D pin (no
-/// logic reader) is captured directly whenever the good value differs.
-Word forced_detect(const ParallelSim& good, const Fault& fault, std::vector<Word>& faulty) {
-  const CombModel& model = good.model();
-  const Word stuck = fault.stuck1 ? ~Word{0} : Word{0};
-  const Word g = good.value(fault.net);
-  if (g == stuck) return 0;  // no pattern in the batch activates the fault
-
-  int branch_reader = -1;
-  if (!fault.is_stem()) {
-    for (const int reader : model.readers_of(fault.net)) {
-      if (model.nodes()[static_cast<std::size_t>(reader)].cell == fault.branch.cell) {
-        branch_reader = reader;
-        break;
-      }
-    }
-    if (branch_reader < 0) {
-      const CellSpec* spec = model.netlist().cell(fault.branch.cell).spec;
-      const bool seq_d = spec->sequential && fault.branch.pin == spec->d_pin;
-      return seq_d ? (g ^ stuck) : 0;
-    }
-  }
-
-  faulty = good.values();
-  if (fault.is_stem()) faulty[static_cast<std::size_t>(fault.net)] = stuck;
-  const auto& nodes = model.nodes();
-  Word in[4];
-  for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
-    const CombNode& node = nodes[ni];
-    const bool inject = static_cast<int>(ni) == branch_reader;
-    for (int i = 0; i < node.num_inputs; ++i) {
-      in[i] = (inject && node.in[i] == fault.net)
-                  ? stuck
-                  : faulty[static_cast<std::size_t>(node.in[i])];
-    }
-    Word sel = 0;
-    if (node.sel != kNoNet) {
-      sel = (inject && node.sel == fault.net) ? stuck
-                                              : faulty[static_cast<std::size_t>(node.sel)];
-    }
-    Word out = eval_node_word(node, in, sel);
-    if (fault.is_stem() && node.out == fault.net) out = stuck;  // fault wins at the site
-    if (node.out != kNoNet) faulty[static_cast<std::size_t>(node.out)] = out;
-  }
-
-  Word detect = 0;
-  for (const NetId n : model.observe_nets()) {
-    detect |= faulty[static_cast<std::size_t>(n)] ^ good.value(n);
-  }
-  return detect;
+// Valid-lane mask for lane word j of a batch holding `count` patterns.
+Word lane_mask(std::size_t count, int j) {
+  const std::size_t base = static_cast<std::size_t>(j) * kWordBits;
+  if (count <= base) return 0;
+  const std::size_t lanes = count - base;
+  return lanes >= static_cast<std::size_t>(kWordBits) ? ~Word{0} : (Word{1} << lanes) - 1;
 }
 
 }  // namespace
@@ -78,20 +33,39 @@ ReplayReport replay_patterns(const CombModel& capture_model, const FaultList& fa
 
   const std::size_t num_inputs = capture_model.input_nets().size();
   ParallelSim good(capture_model);
-  std::vector<Word> input_words(num_inputs);
-  std::vector<Word> faulty_scratch;
+  std::vector<Word> input_words;
+  // Forced resimulation is a full sweep per (fault, batch): super-batching
+  // up to kMaxLaneWords x 64 patterns per sweep divides the sweep count by
+  // the lane width. The confirmation for each claim is an OR over applied
+  // lanes, so the grouping cannot change the verdict — semantics match
+  // FaultSimulator::detects(): a stem forces the site net everywhere; a
+  // branch forces it only at the one reading node of the faulted cell; a
+  // branch on a flip-flop D pin (no logic reader) is captured directly
+  // whenever the good value differs.
+  std::vector<Word> faulty_scratch(capture_model.num_nets() *
+                                   static_cast<std::size_t>(kMaxLaneWords));
+  const SimKernels& kernels = sim_kernels();
 
-  for (std::size_t base = 0; base < patterns.size() && !pending.empty(); base += kWordBits) {
-    const std::size_t batch = std::min<std::size_t>(kWordBits, patterns.size() - base);
+  std::size_t base = 0;
+  while (base < patterns.size() && !pending.empty()) {
+    const std::size_t remaining = patterns.size() - base;
+    const std::size_t remaining_words = (remaining + kWordBits - 1) / kWordBits;
+    int nw = 1;
+    while (nw * 2 <= kMaxLaneWords && static_cast<std::size_t>(nw) * 2 <= remaining_words) nw *= 2;
+    const std::size_t batch = std::min<std::size_t>(static_cast<std::size_t>(nw) * kWordBits,
+                                                    remaining);
     // Lanes past the pattern count hold an all-zero phantom input vector;
     // a detection there must not confirm a claim.
-    const Word lane_mask =
-        batch == static_cast<std::size_t>(kWordBits) ? ~Word{0} : (Word{1} << batch) - 1;
-    std::fill(input_words.begin(), input_words.end(), Word{0});
+    good.configure_lanes(nw);
+    input_words.assign(num_inputs * static_cast<std::size_t>(nw), 0);
     for (std::size_t k = 0; k < batch; ++k) {
       const auto& bits = patterns[base + k].bits;
+      const std::size_t j = k / kWordBits;
+      const int bit = static_cast<int>(k % kWordBits);
       for (std::size_t i = 0; i < num_inputs && i < bits.size(); ++i) {
-        if (bits[i] != 0) input_words[i] |= Word{1} << k;
+        if (bits[i] != 0) {
+          input_words[i * static_cast<std::size_t>(nw) + j] |= Word{1} << bit;
+        }
       }
     }
     good.load_inputs(input_words);
@@ -99,12 +73,16 @@ ReplayReport replay_patterns(const CombModel& capture_model, const FaultList& fa
 
     std::size_t w = 0;
     for (const std::size_t fi : pending) {
-      if ((forced_detect(good, faults.faults[fi], faulty_scratch) & lane_mask) != 0) {
-        continue;  // confirmed
-      }
+      const FaultTask task = resolve_fault_task(capture_model, faults.faults[fi]);
+      Word detect[kMaxLaneWords];
+      kernels.forced(capture_model, good.values().data(), faulty_scratch.data(), task, detect, nw);
+      Word any = 0;
+      for (int j = 0; j < nw; ++j) any |= detect[j] & lane_mask(batch, j);
+      if (any != 0) continue;  // confirmed
       pending[w++] = fi;
     }
     pending.resize(w);
+    base += batch;
   }
 
   report.confirmed = report.claimed - static_cast<std::int64_t>(pending.size());

@@ -153,6 +153,49 @@ TEST_F(SmallCombFaultSim, DropDetectedMarksFaults) {
   for (const Fault& f : faults) EXPECT_EQ(f.status, FaultStatus::kDetected);
 }
 
+// Regression for the BM_FaultGradeLive cone_skip_pct counter: grading a
+// netlist with unobservable monitor logic must exercise the cone filter,
+// and the skip/graded counters must not depend on the worker count (the
+// bank splits the same fault list into contiguous chunks either way).
+TEST(FaultSimConeTest, ConeSkipStatsNonzeroAndJobInvariant) {
+  const auto& L = test::lib();
+  auto nl = generate_circuit(L, test::tiny_profile(47));
+  const CellSpec* inv = L.gate(CellFunc::kInv, 1);
+  ASSERT_NE(inv, nullptr);
+  const int in_pin = inv->find_pin("A");
+  const int npis = static_cast<int>(nl->num_pis());
+  for (int i = 0; i < 32; ++i) {
+    const CellId c = nl->add_cell(inv, "deadmon_u" + std::to_string(i));
+    const NetId out = nl->add_net("deadmon_n" + std::to_string(i));
+    nl->connect(c, in_pin, nl->pi_net(i % npis));
+    nl->connect(c, inv->output_pin, out);
+  }
+  const CombModel model(*nl, SeqView::kCapture);
+  FaultList fl = build_fault_list(model);
+
+  FaultSimStats by_jobs[2];
+  int idx = 0;
+  for (const int jobs : {1, 3}) {
+    FaultSimBank bank(model, jobs);
+    std::vector<Fault*> live;
+    for (Fault& f : fl.faults) {
+      if (f.status != FaultStatus::kScanTested) live.push_back(&f);
+    }
+    Rng rng(9);
+    std::vector<Word> words(model.input_nets().size());
+    for (auto& w : words) w = rng.next_u64();
+    bank.load_batch(words);
+    std::vector<Word> detect;
+    bank.grade(live, detect);
+    by_jobs[idx++] = bank.take_stats();
+  }
+  EXPECT_GT(by_jobs[0].cone_skips, 0u);
+  EXPECT_GT(by_jobs[0].faults_graded, by_jobs[0].cone_skips);
+  EXPECT_EQ(by_jobs[0].cone_skips, by_jobs[1].cone_skips);
+  EXPECT_EQ(by_jobs[0].faults_graded, by_jobs[1].faults_graded);
+  EXPECT_EQ(by_jobs[0].node_evals, by_jobs[1].node_evals);
+}
+
 // Cross-check: event-driven fault simulation agrees with brute-force
 // "rebuild the whole circuit with the fault injected" simulation.
 TEST(FaultSimPropertyTest, AgreesWithFullResimulation) {

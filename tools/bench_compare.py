@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and print a delta table.
+
+Usage:
+    tools/bench_compare.py OLD.json NEW.json [--threshold PCT]
+
+Benchmarks are matched by name; the table reports old/new real time and
+the speedup (old / new, so > 1.0 is an improvement). Benchmarks present
+in only one file are listed but not compared. Exits nonzero when any
+matched benchmark regressed by more than --threshold percent (default
+10), so the script can gate CI or a pre-commit check:
+
+    tools/bench_compare.py BENCH_atpg_pre_simd.json BENCH_atpg.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """name -> (real_time, time_unit), aggregates (mean/median/...) skipped."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+    return out
+
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def to_ns(value, unit):
+    return value * _UNIT_NS.get(unit, 1.0)
+
+
+def fmt_time(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("old", help="baseline google-benchmark JSON")
+    ap.add_argument("new", help="candidate google-benchmark JSON")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    args = ap.parse_args()
+
+    old = load_benchmarks(args.old)
+    new = load_benchmarks(args.new)
+    names = [n for n in old if n in new]
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+
+    if not names:
+        print("no common benchmarks between the two files", file=sys.stderr)
+        return 2
+
+    width = max(len(n) for n in names)
+    print(f"{'benchmark':<{width}}  {'old':>10}  {'new':>10}  {'speedup':>8}")
+    print(f"{'-' * width}  {'-' * 10}  {'-' * 10}  {'-' * 8}")
+    regressions = []
+    for name in names:
+        old_ns = to_ns(*old[name])
+        new_ns = to_ns(*new[name])
+        speedup = old_ns / new_ns if new_ns > 0 else float("inf")
+        flag = ""
+        if new_ns > old_ns * (1.0 + args.threshold / 100.0):
+            regressions.append((name, speedup))
+            flag = "  REGRESSED"
+        print(f"{name:<{width}}  {fmt_time(old_ns):>10}  {fmt_time(new_ns):>10}"
+              f"  {speedup:>7.2f}x{flag}")
+
+    for name in only_old:
+        print(f"{name:<{width}}  {fmt_time(to_ns(*old[name])):>10}  {'(gone)':>10}")
+    for name in only_new:
+        print(f"{name:<{width}}  {'(new)':>10}  {fmt_time(to_ns(*new[name])):>10}")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0f}%:", file=sys.stderr)
+        for name, speedup in regressions:
+            print(f"  {name}: {1.0 / speedup:.2f}x slower", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
