@@ -4,16 +4,21 @@
 // a clean shutdown.
 //
 //   bench_server_loadtest <path-to-tpi_flow_server> [clients] [jobs-per-client]
+//                         [--poll-stats]
 //
 // Each client submits small-scale flow jobs cycling through repeated
 // (profile, tp_percent) combinations — repeats are what make the server's
 // keyed design cache pay off, and the stats RPC at the end asserts
-// server.cache.hits > 0. Exit status 0 = every response well formed, every
-// job finished "done", the daemon exited 0.
+// server.cache.hits > 0. With --poll-stats a dedicated poller thread
+// hammers the stats + metrics RPCs for the whole soak (telemetry
+// exposition concurrent with job traffic — the snapshot-tearing check)
+// and reports its poll count and latency. Exit status 0 = every response
+// well formed, every job finished "done", the daemon exited 0.
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -113,16 +118,78 @@ void run_client(const std::string& socket_path, int client_idx, int jobs) {
   }
 }
 
+// Telemetry poller (--poll-stats): one connection issuing stats + metrics
+// RPCs back to back until told to stop. Runs concurrently with the job
+// clients, so every snapshot it reads races live submits/completions —
+// responses must still parse and be internally consistent (no tearing).
+struct PollReport {
+  long polls = 0;
+  double total_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+void run_poller(const std::string& socket_path, const std::atomic<bool>& stop,
+                PollReport& report) {
+  using Clock = std::chrono::steady_clock;
+  tpi::FlowClient client;
+  std::string error;
+  if (!client.connect(socket_path, &error)) {
+    check(false, "poller connect: " + error);
+    return;
+  }
+  std::string line;
+  tpi::JsonValue result;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const auto t0 = Clock::now();
+    if (!client.rpc("stats", "{}", &line, &error)) {
+      check(false, "poll stats: " + error);
+      return;
+    }
+    if (!response_result(line, result)) return;
+    const tpi::JsonValue* jobs = result.find("jobs");
+    check(jobs != nullptr && jobs->is_object(), "stats snapshot carries jobs");
+
+    if (!client.rpc("metrics", "{\"format\": \"prometheus\"}", &line, &error)) {
+      check(false, "poll metrics: " + error);
+      return;
+    }
+    if (!response_result(line, result)) return;
+    const tpi::JsonValue* prom = result.find("prometheus");
+    check(prom != nullptr && prom->is_string(), "metrics returned exposition text");
+    if (prom != nullptr && prom->is_string() && !prom->as_string().empty()) {
+      check(prom->as_string().find("# TYPE tpi_") != std::string::npos,
+            "exposition carries tpi_-prefixed TYPE lines");
+    }
+
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    ++report.polls;
+    report.total_ms += ms;
+    if (ms > report.max_ms) report.max_ms = ms;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: bench_server_loadtest <tpi_flow_server> [clients] [jobs]\n");
+    std::fprintf(stderr,
+                 "usage: bench_server_loadtest <tpi_flow_server> [clients] [jobs] "
+                 "[--poll-stats]\n");
     return 2;
   }
   const char* server_bin = argv[1];
-  const int clients = argc > 2 ? std::atoi(argv[2]) : 4;
-  const int jobs_per_client = argc > 3 ? std::atoi(argv[3]) : 5;
+  bool poll_stats = false;
+  std::vector<const char*> positional;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--poll-stats") == 0) {
+      poll_stats = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const int clients = positional.size() > 0 ? std::atoi(positional[0]) : 4;
+  const int jobs_per_client = positional.size() > 1 ? std::atoi(positional[1]) : 5;
 
   char dir_template[] = "/tmp/tpi_server_XXXXXX";
   if (::mkdtemp(dir_template) == nullptr) {
@@ -156,6 +223,15 @@ int main(int argc, char** argv) {
   check(up, "server came up on " + socket_path);
 
   if (up) {
+    std::atomic<bool> poll_stop{false};
+    PollReport poll_report;
+    std::thread poller;
+    if (poll_stats) {
+      poller = std::thread([&socket_path, &poll_stop, &poll_report] {
+        run_poller(socket_path, poll_stop, poll_report);
+      });
+    }
+
     std::vector<std::thread> threads;
     for (int c = 0; c < clients; ++c) {
       threads.emplace_back([&socket_path, c, jobs_per_client] {
@@ -163,6 +239,19 @@ int main(int argc, char** argv) {
       });
     }
     for (std::thread& t : threads) t.join();
+
+    if (poller.joinable()) {
+      poll_stop.store(true);
+      poller.join();
+      check(poll_report.polls > 0, "poller completed at least one scrape");
+      std::fprintf(stderr,
+                   "[server_loadtest] poller: %ld stats+metrics polls, "
+                   "mean %.2f ms, max %.2f ms\n",
+                   poll_report.polls,
+                   poll_report.polls > 0 ? poll_report.total_ms / poll_report.polls
+                                         : 0.0,
+                   poll_report.max_ms);
+    }
 
     std::string line, error;
     tpi::JsonValue result;

@@ -3,17 +3,25 @@
 // attached and parallel fault simulation enabled, writes the Chrome trace
 // JSON, then re-reads and validates it — well-formed JSON, complete "X"
 // events, the stage and kernel span names present — and checks the
-// FlowResult metrics snapshot carries the expected counters. Exits
-// non-zero on the first failed check so the ctest target fails loudly.
+// FlowResult metrics snapshot carries the expected counters. A second
+// section runs 4 concurrent flows, each under its own per-job TraceSink,
+// and asserts every sink's JSON carries only its own job's spans (the
+// concurrent-trace-clobbering regression check; the TSan build makes it a
+// data-race check too). Exits non-zero on the first failed check so the
+// ctest target fails loudly.
 #include <cstdio>
 #include <cstdlib>
+#include <future>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "circuits/generator.hpp"
 #include "flow/flow.hpp"
 #include "flow/trace_observer.hpp"
 #include "util/json_check.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
 namespace {
@@ -89,6 +97,58 @@ int main() {
     if (!contains(json, name)) {
       std::fprintf(stderr, "[trace_smoke] FAIL: span \"%s\" missing from trace\n", name);
       ++g_failures;
+    }
+  }
+
+  // ---- per-job flight recorders: 4 concurrent traced flows ----
+  // Each job runs under its own ScopedTraceSink; before the fix every
+  // traced job interleaved into the one global TPI_TRACE log.
+  {
+    constexpr int kJobs = 4;
+    static const char* kMarkers[kJobs] = {"marker.job0", "marker.job1",
+                                          "marker.job2", "marker.job3"};
+    std::vector<std::unique_ptr<TraceSink>> sinks;
+    for (int j = 0; j < kJobs; ++j) {
+      sinks.push_back(std::make_unique<TraceSink>(
+          static_cast<std::uint64_t>(j + 1), "job" + std::to_string(j)));
+    }
+    const CircuitProfile small = scaled(s38417_profile(), 0.02);
+    {
+      ThreadPool pool(kJobs);
+      std::vector<std::future<void>> done;
+      for (int j = 0; j < kJobs; ++j) {
+        done.push_back(pool.submit([&, j] {
+          ScopedTraceSink scope(*sinks[static_cast<std::size_t>(j)]);
+          trace_instant(kMarkers[j]);
+          FlowOptions o = opts;
+          o.atpg.jobs = 1;  // inner-pool spans would land in the global log
+          FlowEngine e(*lib, small, o);
+          e.run();
+        }));
+      }
+      for (std::future<void>& f : done) f.get();
+    }
+    for (int j = 0; j < kJobs; ++j) {
+      const TraceSink& sink = *sinks[static_cast<std::size_t>(j)];
+      check(sink.event_count() > 0, "per-job sink captured spans");
+      const std::string sink_json = sink.to_json();
+      std::string sink_error;
+      if (!json_well_formed(sink_json, &sink_error)) {
+        std::fprintf(stderr, "[trace_smoke] FAIL: job %d sink JSON malformed: %s\n",
+                     j, sink_error.c_str());
+        ++g_failures;
+      }
+      check(contains(sink_json, "\"process_name\""), "sink has a process_name row");
+      check(contains(sink_json, "tpi_scan"), "sink has the job's stage spans");
+      for (int other = 0; other < kJobs; ++other) {
+        const bool expect = other == j;
+        if (contains(sink_json, kMarkers[other]) != expect) {
+          std::fprintf(stderr,
+                       "[trace_smoke] FAIL: job %d sink %s marker of job %d\n", j,
+                       expect ? "is missing the" : "leaked the", other);
+          ++g_failures;
+        }
+      }
     }
   }
 

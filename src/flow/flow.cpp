@@ -128,6 +128,7 @@ StageEvent FlowEngine::make_event(Stage stage, double wall_ms) const {
   StageEvent ev;
   ev.stage = stage;
   ev.name = stage_name(stage);
+  ev.job_label = job_label_.c_str();
   ev.wall_ms = wall_ms;
   ev.num_cells = nl_->num_cells();
   ev.num_nets = nl_->num_nets();

@@ -166,6 +166,12 @@ class FlowEngine {
   /// Not owned; must outlive the run.
   void set_observer(FlowObserver* observer) { observer_ = observer; }
 
+  /// Label carried into every StageEvent::job_label ("s38417/tp=2"), so a
+  /// shared observer can attribute callbacks when many engines run
+  /// concurrently. SweepRunner sets each cell's label; the default is "".
+  void set_job_label(std::string label) { job_label_ = std::move(label); }
+  const std::string& job_label() const { return job_label_; }
+
   /// Cooperative cancellation: run() re-checks the token before every
   /// stage and stops at the next stage boundary once it reads true, so a
   /// cancel lands within one stage's wall clock. The flag may be flipped
@@ -221,6 +227,7 @@ class FlowEngine {
   std::optional<DesignDB> db_;  ///< wraps *nl_, set in the constructors
   CircuitProfile profile_;
   FlowOptions opts_;
+  std::string job_label_;  ///< see set_job_label
   FlowObserver* observer_ = nullptr;
   const std::atomic<bool>* cancel_ = nullptr;
 

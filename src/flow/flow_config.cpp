@@ -105,6 +105,8 @@ FlowConfig FlowConfig::from_env(const FlowConfig& base) {
       static_cast<int>(env_int("TPI_ATPG_JOBS", base.options.atpg.jobs, 0, kMaxJobs));
   if (const std::optional<std::string> v = env_string("TPI_BENCH_JSON")) cfg.bench_json = *v;
   if (const std::optional<std::string> v = env_string("TPI_TRACE")) cfg.trace_path = *v;
+  if (const std::optional<std::string> v = env_string("TPI_TRACE_DIR")) cfg.trace_dir = *v;
+  if (const std::optional<std::string> v = env_string("TPI_LEDGER")) cfg.ledger = *v;
 
   // TPI_LOG_LEVEL wins; the legacy TPI_BENCH_VERBOSE alias only upgrades
   // the fallback (matching the historical bench_common behaviour).
@@ -216,6 +218,15 @@ bool FlowConfig::from_json(std::string_view text, const FlowConfig& base, FlowCo
     } else if (key == "trace") {
       if (!v.is_string()) return type_error("a path string");
       cfg.trace_path = v.as_string();
+    } else if (key == "trace_dir") {
+      if (!v.is_string()) return type_error("a directory-path string");
+      cfg.trace_dir = v.as_string();
+    } else if (key == "ledger") {
+      if (!v.is_string()) return type_error("a path string");
+      cfg.ledger = v.as_string();
+    } else if (key == "record_trace") {
+      if (!v.is_bool()) return type_error("a boolean");
+      cfg.record_trace = v.as_bool();
     } else if (key == "log_level") {
       if (!v.is_string()) return type_error("debug|info|warn|error|silent");
       const std::optional<LogLevel> l = parse_log_level(v.as_string());
@@ -272,9 +283,12 @@ std::string FlowConfig::to_json() const {
   if (options.timing_exclude_slack_ps != defaults.options.timing_exclude_slack_ps) {
     o.set("timing_exclude_slack_ps", options.timing_exclude_slack_ps);
   }
+  if (record_trace) o.set("record_trace", true);
   if (bench_jobs != defaults.bench_jobs) o.set("bench_jobs", bench_jobs);
   if (!bench_json.empty()) o.set("bench_json", bench_json);
   if (!trace_path.empty()) o.set("trace", trace_path);
+  if (!trace_dir.empty()) o.set("trace_dir", trace_dir);
+  if (!ledger.empty()) o.set("ledger", ledger);
   if (log_level != defaults.log_level) {
     const char* names[] = {"debug", "info", "warn", "error", "silent"};
     o.set("log_level", names[static_cast<int>(log_level)]);

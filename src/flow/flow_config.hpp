@@ -8,9 +8,10 @@
 //
 //   * from the environment  — FlowConfig::from_env(), the single place
 //     TPI_BENCH_JOBS / TPI_ATPG_JOBS / TPI_BENCH_SCALE / TPI_BENCH_JSON /
-//     TPI_TRACE / TPI_LOG_LEVEL (+ TPI_BENCH_VERBOSE alias) /
-//     TPI_FUZZ_SEED / TPI_FUZZ_ITERS / TPI_SERVER_SOCKET /
-//     TPI_SERVER_CACHE_MB / TPI_SIMD are parsed and validated;
+//     TPI_TRACE / TPI_TRACE_DIR / TPI_LEDGER / TPI_LOG_LEVEL
+//     (+ TPI_BENCH_VERBOSE alias) / TPI_FUZZ_SEED / TPI_FUZZ_ITERS /
+//     TPI_SERVER_SOCKET / TPI_SERVER_CACHE_MB / TPI_SIMD are parsed and
+//     validated;
 //   * from JSON             — FlowConfig::from_json(), used by the flow
 //     server's submit RPC and config files.
 //
@@ -55,6 +56,10 @@ struct FlowConfig {
   /// Flow-server scheduling priority: higher runs first; FIFO within one
   /// priority level.
   int priority = 0;
+  /// Per-job flight recorder: capture this job's spans into a private
+  /// TraceSink (retrievable via the server's `trace` RPC) even when no
+  /// trace_dir is set ("record_trace" JSON key).
+  bool record_trace = false;
 
   // ---- process-wide settings ----
   /// Sweep/server worker threads (TPI_BENCH_JOBS; <= 0 = hardware).
@@ -63,6 +68,14 @@ struct FlowConfig {
   std::string bench_json;
   /// Chrome-trace output path (TPI_TRACE; empty = tracing off).
   std::string trace_path;
+  /// Directory for per-job flight-recorder files (TPI_TRACE_DIR): each
+  /// server job / sweep cell writes its own Chrome-trace JSON here.
+  /// Empty = no per-job files (the `trace` RPC still works per job via
+  /// record_trace above).
+  std::string trace_dir;
+  /// Run-ledger JSONL path (TPI_LEDGER): every completed flow appends its
+  /// deterministic metrics + config fingerprint. Empty = no ledger.
+  std::string ledger;
   LogLevel log_level = LogLevel::kWarn;  ///< TPI_LOG_LEVEL
   std::uint64_t fuzz_seed = FuzzOptions{}.seed;  ///< TPI_FUZZ_SEED
   int fuzz_iters = FuzzOptions{}.iterations;     ///< TPI_FUZZ_ITERS
@@ -88,8 +101,9 @@ struct FlowConfig {
   /// "tp_percent", "tpi_method", "seed", "stages", "atpg_jobs",
   /// "max_patterns", "verify", "layout_driven_reorder",
   /// "timing_driven_tpi", "timing_exclude_slack_ps", "priority",
-  /// "bench_jobs", "bench_json", "trace", "log_level", "fuzz_seed",
-  /// "fuzz_iters", "server_socket", "server_cache_mb", "simd".
+  /// "record_trace", "bench_jobs", "bench_json", "trace", "trace_dir",
+  /// "ledger", "log_level", "fuzz_seed", "fuzz_iters", "server_socket",
+  /// "server_cache_mb", "simd".
   /// Unknown keys or type mismatches fail with a message in *error
   /// (when non-null) and return false, leaving `out` untouched.
   static bool from_json(std::string_view text, const FlowConfig& base, FlowConfig& out,

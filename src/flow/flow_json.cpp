@@ -1,0 +1,72 @@
+#include "flow/flow_json.hpp"
+
+namespace tpi {
+namespace {
+
+JsonValue metrics_without_designdb(const MetricsSnapshot& snapshot) {
+  // Reuse the snapshot's deterministic serialisation, then drop the
+  // designdb.* counters: warm cached views turn rebuilds into hits, so
+  // those counters deterministically differ between server and
+  // single-shot runs of the same config.
+  const JsonParseResult parsed =
+      json_parse(snapshot.to_json(MetricsSnapshot::kNoRuntime));
+  if (!parsed.ok || !parsed.value.is_object()) return JsonValue(JsonObject{});
+  JsonObject filtered;
+  for (const auto& [key, value] : parsed.value.as_object()) {
+    if (key.rfind("designdb.", 0) == 0) continue;
+    filtered.emplace_back(key, value);
+  }
+  return JsonValue(std::move(filtered));
+}
+
+}  // namespace
+
+JsonValue flow_result_to_json_value(const FlowResult& r) {
+  JsonValue o{JsonObject{}};
+  o.set("circuit", r.circuit);
+  o.set("cancelled", r.cancelled);
+  o.set("num_test_points", r.num_test_points);
+  // Table 1: test data.
+  o.set("num_ffs", r.num_ffs);
+  o.set("num_chains", r.num_chains);
+  o.set("max_chain_length", r.max_chain_length);
+  o.set("num_faults", r.num_faults);
+  o.set("fault_coverage_pct", r.fault_coverage_pct);
+  o.set("fault_efficiency_pct", r.fault_efficiency_pct);
+  o.set("saf_patterns", r.saf_patterns);
+  o.set("tdv_bits", r.tdv_bits);
+  o.set("tat_cycles", r.tat_cycles);
+  // Table 2: silicon area.
+  o.set("num_cells", r.num_cells);
+  o.set("num_rows", r.num_rows);
+  o.set("row_length_um", r.row_length_um);
+  o.set("total_row_length_um", r.total_row_length_um);
+  o.set("core_area_um2", r.core_area_um2);
+  o.set("filler_area_pct", r.filler_area_pct);
+  o.set("chip_area_um2", r.chip_area_um2);
+  o.set("wire_length_um", r.wire_length_um);
+  o.set("aspect_ratio", r.aspect_ratio);
+  o.set("row_utilization_pct", r.row_utilization_pct);
+  // Table 3: timing (worst endpoint only; the paper reports T_cp).
+  o.set("sta_valid", r.sta.worst.valid);
+  o.set("t_cp_ps", r.sta.worst.valid ? r.sta.worst.t_cp_ps : 0.0);
+  // Diagnostics.
+  o.set("scan_enable_buffers", r.scan_enable_buffers);
+  o.set("clock_buffers", r.clock_buffers);
+  o.set("scan_wire_length_um", r.scan_wire_length_um);
+  if (r.verify.ran) {
+    JsonValue v{JsonObject{}};
+    v.set("ok", r.verify.ok());
+    v.set("equivalent", r.verify.equivalent);
+    v.set("replay_ok", r.verify.replay_ok);
+    o.set("verify", v);
+  }
+  o.set("metrics", metrics_without_designdb(r.metrics));
+  return o;
+}
+
+std::string flow_result_to_json(const FlowResult& r) {
+  return flow_result_to_json_value(r).serialise();
+}
+
+}  // namespace tpi

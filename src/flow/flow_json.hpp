@@ -1,0 +1,27 @@
+// Deterministic JSON serialisation of a FlowResult.
+//
+// Moved out of src/server (PR 8) so non-server producers — SweepRunner
+// cells appending to the run ledger — can serialise results without
+// linking the RPC front end. The server's result RPC, the run ledger and
+// the bit-identity tests all use this one function, so "server result ==
+// single-shot result == ledger line" is a byte comparison.
+#pragma once
+
+#include <string>
+
+#include "flow/flow.hpp"
+#include "util/json.hpp"
+
+namespace tpi {
+
+/// The deterministic subset of a FlowResult as a JSON document: scalar
+/// table metrics, the worst STA endpoint, the verify summary, and the
+/// flow's deterministic metrics snapshot minus the designdb.* counters
+/// (those depend — deterministically — on whether the run started from
+/// warm cached views).
+JsonValue flow_result_to_json_value(const FlowResult& result);
+
+/// flow_result_to_json_value serialised as one compact line.
+std::string flow_result_to_json(const FlowResult& result);
+
+}  // namespace tpi

@@ -114,6 +114,9 @@ struct StageTimings {
 struct StageEvent {
   Stage stage = Stage::kTpiScan;
   const char* name = "";
+  /// Job/cell label of the run ("s38417/tp=2"; "" outside sweeps/server).
+  /// Lets one observer shared across a sweep attribute events to cells.
+  const char* job_label = "";
   double wall_ms = 0.0;  ///< 0 in on_stage_begin
   std::size_t num_cells = 0;
   std::size_t num_nets = 0;

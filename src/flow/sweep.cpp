@@ -1,18 +1,34 @@
 #include "flow/sweep.hpp"
 
+#include <sys/stat.h>
+
 #include <chrono>
 #include <cstdio>
 #include <future>
+#include <memory>
+#include <optional>
 #include <utility>
 
 #include "flow/flow_config.hpp"
+#include "flow/flow_json.hpp"
+#include "util/ledger.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace tpi {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// "s38417/tp=2" -> "s38417_tp=2": cell labels become trace file names.
+std::string sanitize_label(const std::string& label) {
+  std::string out = label;
+  for (char& c : out) {
+    if (c == '/' || c == '\\' || c == ' ') c = '_';
+  }
+  return out;
+}
 
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
@@ -125,10 +141,12 @@ bool SweepReport::write_json(const std::string& path) const {
   return ok;
 }
 
-SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts) {}
+SweepRunner::SweepRunner(SweepOptions opts) : opts_(std::move(opts)) {}
 
 SweepRunner::SweepRunner(const FlowConfig& config) {
   opts_.jobs = config.effective_bench_jobs();
+  opts_.trace_dir = config.trace_dir;
+  opts_.ledger = config.ledger;
 }
 
 std::vector<SweepJob> SweepRunner::grid(const std::vector<CircuitProfile>& circuits,
@@ -174,25 +192,58 @@ SweepReport SweepRunner::run(const CellLibrary& lib, std::vector<SweepJob> jobs)
 
   const bool progress = opts_.progress;
   FlowObserver* observer = opts_.observer;
+  const std::string& trace_dir = opts_.trace_dir;
+  if (!trace_dir.empty()) ::mkdir(trace_dir.c_str(), 0777);  // EEXIST is fine
+  std::unique_ptr<Ledger> ledger;
+  if (!opts_.ledger.empty()) ledger = std::make_unique<Ledger>(opts_.ledger);
+
   const auto sweep_t0 = Clock::now();
   std::vector<std::future<CellOut>> futures;
   futures.reserve(jobs.size());
   {
     ThreadPool pool(static_cast<unsigned>(report.jobs));
-    for (const SweepJob& job : jobs) {
-      futures.push_back(pool.submit([&lib, &job, progress, observer] {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const SweepJob& job = jobs[i];
+      futures.push_back(pool.submit([&lib, &job, &trace_dir, i, progress, observer] {
         if (progress) std::fprintf(stderr, "[sweep] %s...\n", job.label.c_str());
+        // Per-cell flight recorder: this worker's spans go to the cell's
+        // own sink, so concurrent cells never share a trace file.
+        std::unique_ptr<TraceSink> sink;
+        if (!trace_dir.empty()) {
+          sink = std::make_unique<TraceSink>(static_cast<std::uint64_t>(i + 1),
+                                             job.label);
+        }
         const auto t0 = Clock::now();
         FlowEngine engine(lib, job.profile, job.options);
+        engine.set_job_label(job.label);
         engine.set_observer(observer);
-        engine.run(job.stages);
+        {
+          std::optional<ScopedTraceSink> scope;
+          if (sink != nullptr) scope.emplace(*sink);
+          engine.run(job.stages);
+        }
+        if (sink != nullptr) {
+          sink->write_json(trace_dir + "/" + sanitize_label(job.label) +
+                           ".trace.json");
+        }
         return CellOut{engine.result(), ms_since(t0)};
       }));
     }
     // Collect in submission order so the report layout matches the grid
     // regardless of scheduling; future::get() rethrows task exceptions.
+    // Ledger lines are appended here too, so their order is deterministic.
     for (std::size_t i = 0; i < futures.size(); ++i) {
       CellOut out = futures[i].get();
+      if (ledger != nullptr) {
+        FlowConfig cell_cfg;
+        cell_cfg.profile = jobs[i].profile.name;
+        cell_cfg.options = jobs[i].options;
+        cell_cfg.stages = jobs[i].stages;
+        const JsonParseResult cfg_json = json_parse(cell_cfg.to_json());
+        ledger->append(jobs[i].label,
+                       cfg_json.ok ? cfg_json.value : JsonValue(JsonObject{}),
+                       flow_result_to_json_value(out.result));
+      }
       report.cells.push_back(
           {std::move(jobs[i]), std::move(out.result), out.wall_ms});
     }

@@ -39,6 +39,14 @@ struct SweepOptions {
   /// Observer attached to every FlowEngine (must be thread-safe when
   /// jobs > 1); nullptr = none.
   FlowObserver* observer = nullptr;
+  /// Per-cell flight recorder directory (TPI_TRACE_DIR / FlowConfig
+  /// trace_dir): each cell's spans go to its own TraceSink and are written
+  /// as <trace_dir>/<label>.trace.json ('/' in labels becomes '_'), so
+  /// concurrent cells never interleave in one trace. Empty = off.
+  std::string trace_dir;
+  /// Run-ledger JSONL path (TPI_LEDGER / FlowConfig ledger): every cell's
+  /// deterministic flow result is appended in submission order. Empty = off.
+  std::string ledger;
 };
 
 struct SweepCellResult {

@@ -1,12 +1,15 @@
 #include "server/flow_server.hpp"
 
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "util/json.hpp"
@@ -17,20 +20,12 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-JsonValue metrics_without_designdb(const MetricsSnapshot& snapshot) {
-  // Reuse the snapshot's deterministic serialisation, then drop the
-  // designdb.* counters: warm cached views turn rebuilds into hits, so
-  // those counters deterministically differ between server and
-  // single-shot runs of the same config.
-  const JsonParseResult parsed =
-      json_parse(snapshot.to_json(MetricsSnapshot::kNoRuntime));
-  if (!parsed.ok || !parsed.value.is_object()) return JsonValue(JsonObject{});
-  JsonObject filtered;
-  for (const auto& [key, value] : parsed.value.as_object()) {
-    if (key.rfind("designdb.", 0) == 0) continue;
-    filtered.emplace_back(key, value);
-  }
-  return JsonValue(std::move(filtered));
+// "s38417/tp=2" — the label used for the trace process row and the
+// ledger line, matching SweepRunner::grid's convention.
+std::string job_label(const FlowConfig& cfg) {
+  char pct[32];
+  std::snprintf(pct, sizeof pct, "%g", cfg.options.tp_percent);
+  return cfg.profile + "/tp=" + pct;
 }
 
 bool send_all(int fd, const std::string& data) {
@@ -56,50 +51,6 @@ const char* job_state_name(JobState state) {
   return "?";
 }
 
-std::string flow_result_to_json(const FlowResult& r) {
-  JsonValue o{JsonObject{}};
-  o.set("circuit", r.circuit);
-  o.set("cancelled", r.cancelled);
-  o.set("num_test_points", r.num_test_points);
-  // Table 1: test data.
-  o.set("num_ffs", r.num_ffs);
-  o.set("num_chains", r.num_chains);
-  o.set("max_chain_length", r.max_chain_length);
-  o.set("num_faults", r.num_faults);
-  o.set("fault_coverage_pct", r.fault_coverage_pct);
-  o.set("fault_efficiency_pct", r.fault_efficiency_pct);
-  o.set("saf_patterns", r.saf_patterns);
-  o.set("tdv_bits", r.tdv_bits);
-  o.set("tat_cycles", r.tat_cycles);
-  // Table 2: silicon area.
-  o.set("num_cells", r.num_cells);
-  o.set("num_rows", r.num_rows);
-  o.set("row_length_um", r.row_length_um);
-  o.set("total_row_length_um", r.total_row_length_um);
-  o.set("core_area_um2", r.core_area_um2);
-  o.set("filler_area_pct", r.filler_area_pct);
-  o.set("chip_area_um2", r.chip_area_um2);
-  o.set("wire_length_um", r.wire_length_um);
-  o.set("aspect_ratio", r.aspect_ratio);
-  o.set("row_utilization_pct", r.row_utilization_pct);
-  // Table 3: timing (worst endpoint only; the paper reports T_cp).
-  o.set("sta_valid", r.sta.worst.valid);
-  o.set("t_cp_ps", r.sta.worst.valid ? r.sta.worst.t_cp_ps : 0.0);
-  // Diagnostics.
-  o.set("scan_enable_buffers", r.scan_enable_buffers);
-  o.set("clock_buffers", r.clock_buffers);
-  o.set("scan_wire_length_um", r.scan_wire_length_um);
-  if (r.verify.ran) {
-    JsonValue v{JsonObject{}};
-    v.set("ok", r.verify.ok());
-    v.set("equivalent", r.verify.equivalent);
-    v.set("replay_ok", r.verify.replay_ok);
-    o.set("verify", v);
-  }
-  o.set("metrics", metrics_without_designdb(r.metrics));
-  return o.serialise();
-}
-
 FlowServer::FlowServer(const FlowConfig& base)
     : FlowServer(base, [&base] {
         FlowServerOptions o;
@@ -113,6 +64,7 @@ FlowServer::FlowServer(const FlowConfig& base, FlowServerOptions opts)
     : base_(base), opts_(std::move(opts)), lib_(make_phl130_library()) {
   cache_ = std::make_unique<DesignCache>(
       *lib_, static_cast<std::size_t>(opts_.cache_mb) << 20, &metrics_);
+  if (!base_.ledger.empty()) ledger_ = std::make_unique<Ledger>(base_.ledger);
   const int workers = opts_.workers > 0
                           ? opts_.workers
                           : static_cast<int>(ThreadPool::default_concurrency());
@@ -136,6 +88,7 @@ void FlowServer::run_job(const std::shared_ptr<Job>& job) {
     job->queue_wait_ns = wait_ns;
     if (job->cancel.load()) {
       job->state = JobState::kCancelled;
+      metrics_.add("server.jobs_cancelled");
       job_cv_.notify_all();
       return;
     }
@@ -143,6 +96,14 @@ void FlowServer::run_job(const std::shared_ptr<Job>& job) {
   }
   job_cv_.notify_all();
   if (opts_.on_job_start) opts_.on_job_start(job->id);
+
+  // Per-job flight recorder: spans from this worker thread land in the
+  // job's private sink instead of the global TPI_TRACE log, so concurrent
+  // traced jobs never interleave.
+  const std::string label = job_label(job->config);
+  const bool record = job->config.record_trace || !job->config.trace_dir.empty();
+  std::unique_ptr<TraceSink> sink;
+  if (record) sink = std::make_unique<TraceSink>(job->id, label);
 
   std::string flow_json;
   std::string error;
@@ -156,21 +117,53 @@ void FlowServer::run_job(const std::shared_ptr<Job>& job) {
     FlowEngine engine(nl, profile, job->config.options);
     engine.design_db().adopt_views_from(entry->db());
     engine.set_cancel_token(&job->cancel);
-    const FlowResult& res = engine.run(job->config.stages);
+    {
+      std::optional<ScopedTraceSink> scope;
+      if (sink != nullptr) scope.emplace(*sink);
+      engine.run(job->config.stages);
+    }
+    const FlowResult& res = engine.result();
     cancelled = res.cancelled;
     flow_json = flow_result_to_json(res);
+    for (const Stage s : kAllStages) {
+      if (!engine.stage_ran(s)) continue;
+      metrics_.observe(std::string("server.stage_ms.") + stage_name(s),
+                       res.timings[s]);
+    }
+    if (!cancelled && ledger_ != nullptr) {
+      const JsonParseResult cfg = json_parse(job->config.to_json());
+      ledger_->append(label, cfg.ok ? cfg.value : JsonValue(JsonObject{}),
+                      flow_result_to_json_value(res));
+    }
   } catch (const std::exception& e) {
     error = e.what();
   }
 
+  std::string trace_json;
+  if (sink != nullptr) {
+    trace_json = sink->to_json();
+    if (!job->config.trace_dir.empty()) {
+      ::mkdir(job->config.trace_dir.c_str(), 0777);  // EEXIST is fine
+      sink->write_json(job->config.trace_dir + "/job_" + std::to_string(job->id) +
+                       ".trace.json");
+    }
+  }
+
   {
     std::lock_guard<std::mutex> lock(mu_);
+    job->trace_json = std::move(trace_json);
     if (!error.empty()) {
       job->error = error;
       job->state = JobState::kFailed;
     } else {
       job->flow_json = std::move(flow_json);
       job->state = cancelled ? JobState::kCancelled : JobState::kDone;
+    }
+    switch (job->state) {
+      case JobState::kDone: metrics_.add("server.jobs_done"); break;
+      case JobState::kFailed: metrics_.add("server.jobs_failed"); break;
+      case JobState::kCancelled: metrics_.add("server.jobs_cancelled"); break;
+      default: break;
     }
   }
   job_cv_.notify_all();
@@ -324,6 +317,51 @@ std::string FlowServer::handle_request(const std::string& line) {
     }
     result.set("jobs", std::move(jobs));
     result.set("workers", static_cast<std::int64_t>(pool_->size()));
+    return respond(std::move(result));
+  }
+
+  if (name == "metrics") {
+    // Server-owned registry (cache counters, queue wait, per-stage wall
+    // time) in Prometheus text format by default, or as the registry's
+    // JSON when params.format == "json".
+    const JsonValue* f = params != nullptr ? params->find("format") : nullptr;
+    const std::string format = f != nullptr && f->is_string() ? f->as_string()
+                                                              : std::string("prometheus");
+    const MetricsSnapshot snap = metrics_.snapshot();
+    JsonValue result{JsonObject{}};
+    if (format == "prometheus") {
+      result.set("prometheus", snap.to_prometheus());
+    } else if (format == "json") {
+      const JsonParseResult m = json_parse(snap.to_json(MetricsSnapshot::kWithRuntime));
+      result.set("metrics", m.ok ? m.value : JsonValue(JsonObject{}));
+    } else {
+      return fail("params.format: expected \"prometheus\" or \"json\"");
+    }
+    return respond(std::move(result));
+  }
+
+  if (name == "trace") {
+    std::shared_ptr<Job> job;
+    std::string err;
+    if (!job_param(job, &err)) return fail(err);
+    std::string trace_json;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!job_state_terminal(job->state)) {
+        return fail("job " + std::to_string(job->id) + " still " +
+                    job_state_name(job->state));
+      }
+      trace_json = job->trace_json;
+    }
+    if (trace_json.empty()) {
+      return fail("no trace recorded for job " + std::to_string(job->id) +
+                  " (submit with \"record_trace\": true)");
+    }
+    const JsonParseResult trace = json_parse(trace_json);
+    if (!trace.ok) return fail("recorded trace is malformed: " + trace.error);
+    JsonValue result{JsonObject{}};
+    result.set("job", static_cast<std::int64_t>(job->id));
+    result.set("trace", trace.value);
     return respond(std::move(result));
   }
 

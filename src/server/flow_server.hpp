@@ -6,7 +6,8 @@
 //   {"id": 1, "method": "submit", "params": { ...FlowConfig JSON... }}
 //   {"id": 1, "result": {"job": 7, "state": "queued"}}
 //
-// Methods: submit, status, cancel, result, stats, shutdown. `params` of
+// Methods: submit, status, cancel, result, stats, metrics, trace,
+// shutdown. `params` of
 // submit is a FlowConfig object layered over the server's base config
 // (FlowConfig::from_json), so per-request values always beat the daemon's
 // environment. Jobs are scheduled on the shared ThreadPool with the
@@ -26,6 +27,17 @@
 // thread-safe; listen() adds the AF_UNIX front end (one accept thread,
 // one thread per connection). Tests drive handle_request in process, the
 // daemon binary and the load-test bench go through the socket.
+//
+// Telemetry (PR 8, DESIGN.md §14): a job submitted with "record_trace"
+// (or while the server's config carries a trace_dir) runs under its own
+// TraceSink, so its spans never interleave with other jobs'; the `trace`
+// RPC returns that Chrome-trace JSON and, when trace_dir is set, the
+// server also writes <trace_dir>/job_<id>.trace.json. The `metrics` RPC
+// exposes the server-owned registry — cache counters, queue-wait and
+// per-stage wall-time histograms with p50/p95/p99 — as Prometheus text
+// (default) or JSON; tools/tpi_top.py polls it. When the config carries a
+// ledger path (TPI_LEDGER), every job that finishes kDone appends its
+// deterministic flow result + config fingerprint to the run ledger.
 #pragma once
 
 #include <atomic>
@@ -42,20 +54,14 @@
 
 #include "flow/flow.hpp"
 #include "flow/flow_config.hpp"
+#include "flow/flow_json.hpp"  // flow_result_to_json (moved in PR 8)
 #include "server/design_cache.hpp"
+#include "util/ledger.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace tpi {
-
-/// Serialise the deterministic subset of a FlowResult as one compact JSON
-/// object: scalar table metrics, the worst STA endpoint, the verify
-/// summary, and the flow's deterministic metrics snapshot minus the
-/// designdb.* counters (those depend — deterministically — on whether the
-/// run started from warm cached views). The server's result RPC and the
-/// bit-identity tests both use this, so "server result == single-shot
-/// result" is a byte comparison.
-std::string flow_result_to_json(const FlowResult& result);
 
 enum class JobState : std::uint8_t { kQueued, kRunning, kDone, kFailed, kCancelled };
 const char* job_state_name(JobState state);
@@ -115,8 +121,9 @@ class FlowServer {
     // Guarded by FlowServer::mu_.
     JobState state = JobState::kQueued;
     std::uint64_t queue_wait_ns = 0;
-    std::string flow_json;  ///< flow_result_to_json payload once terminal
-    std::string error;      ///< set when state == kFailed
+    std::string flow_json;   ///< flow_result_to_json payload once terminal
+    std::string trace_json;  ///< per-job Chrome trace once terminal (if recorded)
+    std::string error;       ///< set when state == kFailed
   };
 
   void run_job(const std::shared_ptr<Job>& job);
@@ -129,6 +136,7 @@ class FlowServer {
   std::unique_ptr<CellLibrary> lib_;
   MetricsRegistry metrics_;  ///< server-owned: server.* metrics only
   std::unique_ptr<DesignCache> cache_;
+  std::unique_ptr<Ledger> ledger_;  ///< run ledger when base config has a path
   std::unique_ptr<ThreadPool> pool_;
 
   mutable std::mutex mu_;

@@ -46,6 +46,33 @@ void HistogramData::merge(const HistogramData& o) {
   for (int i = 0; i < kHistogramBuckets; ++i) buckets[i] += o.buckets[i];
 }
 
+double HistogramData::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (!(q > 0.0)) return min;
+  if (q >= 1.0) return max;
+  // Rank of the requested order statistic, 1-based.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    const std::uint64_t n = buckets[static_cast<std::size_t>(b)];
+    if (n == 0) continue;
+    if (cum + n < rank) {
+      cum += n;
+      continue;
+    }
+    // Bucket b holds the rank. Its value range: [0,1) for b == 0,
+    // [2^(b-1), 2^b) otherwise; interpolate by position within the bucket.
+    const double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+    const double hi = b == 0 ? 1.0 : std::ldexp(1.0, b);
+    const double frac =
+        (static_cast<double>(rank - cum) - 0.5) / static_cast<double>(n);
+    const double v = lo + (hi - lo) * frac;
+    return std::min(std::max(v, min), max);
+  }
+  return max;  // unreachable when bucket counts sum to `count`
+}
+
 namespace {
 
 struct MetricState {
@@ -200,6 +227,10 @@ std::string MetricsSnapshot::to_json(Runtime runtime) const {
         out += ", \"sum\": " + fmt_metric_double(m.hist.sum);
         out += ", \"min\": " + fmt_metric_double(m.hist.count > 0 ? m.hist.min : 0.0);
         out += ", \"max\": " + fmt_metric_double(m.hist.count > 0 ? m.hist.max : 0.0);
+        out += ", \"mean\": " + fmt_metric_double(m.hist.mean());
+        out += ", \"p50\": " + fmt_metric_double(m.hist.quantile(0.50));
+        out += ", \"p95\": " + fmt_metric_double(m.hist.quantile(0.95));
+        out += ", \"p99\": " + fmt_metric_double(m.hist.quantile(0.99));
         // Sparse buckets: {"<index>": count} for the non-empty ones only.
         out += ", \"buckets\": {";
         bool first_bucket = true;
@@ -216,6 +247,60 @@ std::string MetricsSnapshot::to_json(Runtime runtime) const {
     }
   }
   return out + "}";
+}
+
+std::string prometheus_metric_name(std::string_view name) {
+  std::string out = "tpi_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+namespace {
+
+std::string fmt_prometheus_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  for (const MetricValue& m : metrics) {
+    const std::string name = prometheus_metric_name(m.name);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(m.count) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + fmt_prometheus_double(m.value) + "\n";
+        break;
+      case MetricKind::kHistogram:
+        out += "# TYPE " + name + " summary\n";
+        out += name + "{quantile=\"0.5\"} " +
+               fmt_prometheus_double(m.hist.quantile(0.50)) + "\n";
+        out += name + "{quantile=\"0.95\"} " +
+               fmt_prometheus_double(m.hist.quantile(0.95)) + "\n";
+        out += name + "{quantile=\"0.99\"} " +
+               fmt_prometheus_double(m.hist.quantile(0.99)) + "\n";
+        out += name + "_sum " + fmt_prometheus_double(m.hist.sum) + "\n";
+        out += name + "_count " + std::to_string(m.hist.count) + "\n";
+        out += name + "_min " +
+               fmt_prometheus_double(m.hist.count > 0 ? m.hist.min : 0.0) + "\n";
+        out += name + "_max " +
+               fmt_prometheus_double(m.hist.count > 0 ? m.hist.max : 0.0) + "\n";
+        break;
+    }
+  }
+  return out;
 }
 
 double peak_rss_kb() {

@@ -44,6 +44,16 @@ struct HistogramData {
 
   void observe(double v);
   void merge(const HistogramData& o);
+
+  /// Arithmetic mean (0 when empty).
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+
+  /// Estimate the q-quantile (q in [0,1]) from the pow2 buckets: walk the
+  /// cumulative counts to the bucket holding rank ceil(q*count), then
+  /// interpolate linearly inside the bucket's [lo, hi) value range and
+  /// clamp to the observed [min, max]. A pure function of the bucket
+  /// counts, so deterministic whenever the histogram itself is.
+  double quantile(double q) const;
 };
 
 /// One metric in a snapshot: counters use `count`, gauges use `value`,
@@ -73,9 +83,21 @@ struct MetricsSnapshot {
 
   enum Runtime { kNoRuntime = 0, kWithRuntime = 1 };
   /// Compact one-line JSON object. kNoRuntime drops "rt.*" entries, making
-  /// the output bit-identical across job counts / machines.
+  /// the output bit-identical across job counts / machines. Histograms
+  /// carry count/sum/min/max/mean/p50/p95/p99 plus the sparse buckets.
   std::string to_json(Runtime runtime = kWithRuntime) const;
+
+  /// Prometheus text exposition (one block per metric, `# TYPE` line
+  /// first). Names map as "tpi_" + metric name with every character
+  /// outside [a-zA-Z0-9_] replaced by '_'; counters/gauges keep their
+  /// type, histograms are exported as `summary` with quantile="0.5/0.95/
+  /// 0.99" rows plus `_sum`, `_count`, `_min` and `_max`.
+  std::string to_prometheus() const;
 };
+
+/// "flow.cells_added" -> "tpi_flow_cells_added" (the exposition name
+/// mapping, shared with tools/tpi_top.py and the docs).
+std::string prometheus_metric_name(std::string_view name);
 
 /// Thread-safe registry. Metric kind is fixed by the first touch of a
 /// name; a later touch under a different kind is dropped with a warning.

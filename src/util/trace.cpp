@@ -12,7 +12,7 @@
 namespace tpi {
 namespace trace_detail {
 
-std::atomic<bool> g_enabled{false};
+std::atomic<int> g_enabled{0};
 
 std::uint64_t now_ns() {
   return static_cast<std::uint64_t>(
@@ -65,6 +65,7 @@ struct Registry {
   std::vector<ThreadLog*> logs;       ///< leaked on purpose: process lifetime
   std::uint64_t epoch_ns = 0;         ///< ts origin of the JSON export
   std::string atexit_path;            ///< TPI_TRACE target ("" = none)
+  bool manual_enabled = false;        ///< the set_trace_enabled contribution
 };
 
 Registry& registry() {
@@ -84,34 +85,48 @@ ThreadLog& thread_log() {
   return *log;
 }
 
-void append_event_json(std::string& out, const TraceEvent& e, std::uint32_t tid,
+// Innermost scoped sink on this thread; spans route here when non-null.
+thread_local TraceSink* t_sink = nullptr;
+
+void append_event_json(std::string& out, const char* name, std::uint64_t begin_ns,
+                       std::uint64_t end_ns, std::uint32_t tid, std::uint64_t pid,
                        std::uint64_t epoch_ns) {
   char buf[256];
-  const double ts_us = static_cast<double>(e.begin_ns - epoch_ns) / 1000.0;
-  const double dur_us = static_cast<double>(e.end_ns - e.begin_ns) / 1000.0;
+  const double ts_us = static_cast<double>(begin_ns - epoch_ns) / 1000.0;
+  const double dur_us = static_cast<double>(end_ns - begin_ns) / 1000.0;
   std::snprintf(buf, sizeof buf,
                 "{\"name\": \"%s\", \"cat\": \"tpi\", \"ph\": \"X\", \"ts\": %.3f, "
-                "\"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
-                e.name, ts_us, dur_us, tid);
+                "\"dur\": %.3f, \"pid\": %llu, \"tid\": %u}",
+                name, ts_us, dur_us, static_cast<unsigned long long>(pid), tid);
   out += buf;
 }
 
 }  // namespace
 
 void record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns) {
+  if (TraceSink* sink = t_sink; sink != nullptr) {
+    sink->append(name, begin_ns, end_ns, thread_log().tid);
+    return;
+  }
   thread_log().append(name, begin_ns, end_ns);
 }
+
+std::uint32_t thread_tid() { return thread_log().tid; }
 
 }  // namespace trace_detail
 
 void set_trace_enabled(bool enabled) {
   using namespace trace_detail;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (enabled == reg.manual_enabled) return;  // idempotent: one refcount share
+  reg.manual_enabled = enabled;
   if (enabled) {
-    Registry& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
     if (reg.epoch_ns == 0) reg.epoch_ns = now_ns();
+    g_enabled.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    g_enabled.fetch_sub(1, std::memory_order_relaxed);
   }
-  g_enabled.store(enabled, std::memory_order_relaxed);
 }
 
 void trace_instant(const char* name) {
@@ -165,7 +180,8 @@ std::string trace_to_json() {
       for (std::uint32_t i = 0; i < n; ++i) {
         if (!first) out += ",\n";
         first = false;
-        append_event_json(out, c->events[i], log->tid, reg.epoch_ns);
+        const TraceEvent& e = c->events[i];
+        append_event_json(out, e.name, e.begin_ns, e.end_ns, log->tid, 1, reg.epoch_ns);
       }
     }
   }
@@ -173,17 +189,24 @@ std::string trace_to_json() {
   return out;
 }
 
-bool trace_write_json(const std::string& path) {
-  const std::string json = trace_to_json();
+namespace {
+
+bool write_string(const std::string& json, const std::string& path, const char* what) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
-    log_warn() << "trace: cannot write " << path;
+    log_warn() << what << ": cannot write " << path;
     return false;
   }
   const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
   std::fclose(f);
-  if (!ok) log_warn() << "trace: short write to " << path;
+  if (!ok) log_warn() << what << ": short write to " << path;
   return ok;
+}
+
+}  // namespace
+
+bool trace_write_json(const std::string& path) {
+  return write_string(trace_to_json(), path, "trace");
 }
 
 const char* trace_init_from_env() {
@@ -206,6 +229,61 @@ const char* trace_init_from_env() {
   });
   std::lock_guard<std::mutex> lock(reg.mu);
   return reg.atexit_path.c_str();
+}
+
+// ---- TraceSink ----
+
+TraceSink::TraceSink(std::uint64_t job_id, std::string label)
+    : job_id_(job_id), label_(std::move(label)), epoch_ns_(trace_detail::now_ns()) {}
+
+void TraceSink::append(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns,
+                       std::uint32_t tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{name, begin_ns, end_ns, tid});
+}
+
+std::size_t TraceSink::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string TraceSink::to_json() const {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  // Name the process row after the job label so chrome://tracing shows
+  // which job a track belongs to.
+  std::string escaped;
+  for (const char c : label_) {
+    if (c == '"' || c == '\\') escaped += '\\';
+    if (static_cast<unsigned char>(c) >= 0x20) escaped += c;
+  }
+  char meta[192];
+  std::snprintf(meta, sizeof meta,
+                "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %llu, "
+                "\"args\": {\"name\": \"%s\"}}",
+                static_cast<unsigned long long>(job_id_), escaped.c_str());
+  out += meta;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Event& e : events_) {
+    out += ",\n";
+    trace_detail::append_event_json(out, e.name, e.begin_ns, e.end_ns, e.tid, job_id_,
+                                    epoch_ns_);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceSink::write_json(const std::string& path) const {
+  return write_string(to_json(), path, "trace sink");
+}
+
+ScopedTraceSink::ScopedTraceSink(TraceSink& sink) : prev_(trace_detail::t_sink) {
+  trace_detail::t_sink = &sink;
+  trace_detail::g_enabled.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedTraceSink::~ScopedTraceSink() {
+  trace_detail::g_enabled.fetch_sub(1, std::memory_order_relaxed);
+  trace_detail::t_sink = prev_;
 }
 
 }  // namespace tpi

@@ -66,6 +66,54 @@ TEST(FlowConfigTest, FromEnvReadsEveryVariable) {
   EXPECT_EQ(cfg.server_cache_mb, 64);
 }
 
+TEST(FlowConfigTest, FromEnvReadsTelemetryPaths) {
+  const ScopedEnv e1("TPI_TRACE_DIR", "/tmp/traces");
+  const ScopedEnv e2("TPI_LEDGER", "/tmp/runs.jsonl");
+  const FlowConfig cfg = FlowConfig::from_env();
+  EXPECT_EQ(cfg.trace_dir, "/tmp/traces");
+  EXPECT_EQ(cfg.ledger, "/tmp/runs.jsonl");
+
+  const ScopedEnv e3("TPI_TRACE_DIR", nullptr);
+  const ScopedEnv e4("TPI_LEDGER", nullptr);
+  FlowConfig base;
+  base.trace_dir = "kept";
+  base.ledger = "kept.jsonl";
+  const FlowConfig inherited = FlowConfig::from_env(base);
+  EXPECT_EQ(inherited.trace_dir, "kept");
+  EXPECT_EQ(inherited.ledger, "kept.jsonl");
+}
+
+TEST(FlowConfigTest, TelemetryKeysParseAndRoundTrip) {
+  const FlowConfig base;
+  FlowConfig cfg;
+  std::string error;
+  ASSERT_TRUE(FlowConfig::from_json(
+      "{\"record_trace\": true, \"trace_dir\": \"traces\", "
+      "\"ledger\": \"runs.jsonl\"}",
+      base, cfg, &error))
+      << error;
+  EXPECT_TRUE(cfg.record_trace);
+  EXPECT_EQ(cfg.trace_dir, "traces");
+  EXPECT_EQ(cfg.ledger, "runs.jsonl");
+
+  FlowConfig back;
+  ASSERT_TRUE(FlowConfig::from_json(cfg.to_json(), FlowConfig{}, back, &error)) << error;
+  EXPECT_TRUE(back.record_trace);
+  EXPECT_EQ(back.trace_dir, cfg.trace_dir);
+  EXPECT_EQ(back.ledger, cfg.ledger);
+
+  // Defaults stay off/empty and serialise away entirely.
+  const FlowConfig quiet;
+  EXPECT_FALSE(quiet.record_trace);
+  const std::string json = quiet.to_json();
+  EXPECT_EQ(json.find("record_trace"), std::string::npos);
+  EXPECT_EQ(json.find("trace_dir"), std::string::npos);
+  EXPECT_EQ(json.find("ledger"), std::string::npos);
+
+  EXPECT_FALSE(FlowConfig::from_json("{\"record_trace\": 1}", base, cfg, &error));
+  EXPECT_FALSE(FlowConfig::from_json("{\"trace_dir\": 7}", base, cfg, &error));
+}
+
 TEST(FlowConfigTest, FromEnvKeepsBaseForUnsetAndInvalidValues) {
   const ScopedEnv e1("TPI_BENCH_SCALE", "banana");
   const ScopedEnv e2("TPI_BENCH_JOBS", "-4");

@@ -3,11 +3,17 @@
 // are bit-identical at any job count.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "../common/test_circuits.hpp"
 #include "flow/sweep.hpp"
+#include "util/json_check.hpp"
+#include "util/ledger.hpp"
+#include "util/metrics.hpp"
 
 namespace tpi {
 namespace {
@@ -101,6 +107,86 @@ TEST(SweepRunnerTest, MergedMetricsDeterministicAcrossJobCounts) {
   }
   // Runtime ("rt.*") metrics never leak into the deterministic serialisation.
   EXPECT_EQ(a.find("\"rt."), std::string::npos);
+  // Histogram summaries (quantiles are pure functions of the pow2 buckets,
+  // so they inherit the bit-identity the EXPECT_EQ above just proved).
+  for (const char* field : {"\"mean\": ", "\"p50\": ", "\"p95\": ", "\"p99\": "}) {
+    EXPECT_NE(a.find(field), std::string::npos) << field;
+  }
+  const MetricValue* net_len = serial.metrics.find("routing.net_length_um");
+  ASSERT_NE(net_len, nullptr);
+  ASSERT_EQ(net_len->kind, MetricKind::kHistogram);
+  EXPECT_LE(net_len->hist.quantile(0.50), net_len->hist.quantile(0.95));
+  EXPECT_LE(net_len->hist.quantile(0.95), net_len->hist.quantile(0.99));
+}
+
+// Per-cell flight recorders + the run ledger: every sweep cell writes its
+// own Chrome trace under SweepOptions::trace_dir and appends one ledger
+// line, in submission order, with a deterministic flow payload.
+TEST(SweepRunnerTest, TraceDirAndLedgerRecordEveryCell) {
+  const std::string trace_dir = ::testing::TempDir() + "tpi_sweep_traces";
+  const std::string ledger_path = ::testing::TempDir() + "tpi_sweep_ledger.jsonl";
+  std::remove(ledger_path.c_str());
+
+  SweepOptions opts;
+  opts.jobs = 2;
+  opts.progress = false;
+  opts.trace_dir = trace_dir;
+  opts.ledger = ledger_path;
+  // Distinct profile names: trace file names derive from the cell label,
+  // so same-named profiles would share (and clobber) one file.
+  CircuitProfile pa = test::tiny_profile(31);
+  pa.name = "tinyA";
+  CircuitProfile pb = test::tiny_profile(32);
+  pb.name = "tinyB";
+  const auto jobs =
+      SweepRunner::grid({pa, pb}, {0.0, 2.0, 5.0}, FlowOptions{}, StageMask::all());
+  SweepRunner(opts).run(lib(), jobs);
+
+  for (const SweepJob& job : jobs) {
+    std::string file = job.label;  // "tiny/tp=0" -> "tiny_tp=0.trace.json"
+    for (char& c : file) {
+      if (c == '/' || c == '\\' || c == ' ') c = '_';
+    }
+    const std::string path = trace_dir + "/" + file + ".trace.json";
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr) << path;
+    std::string contents;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) contents.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+    std::string error;
+    EXPECT_TRUE(json_well_formed(contents, &error)) << path << ": " << error;
+    EXPECT_NE(contents.find("tpi_scan"), std::string::npos) << path;
+    EXPECT_NE(contents.find(job.label), std::string::npos) << path;  // process row
+  }
+
+  const std::vector<LedgerEntry> entries = Ledger::read_file(ledger_path);
+  ASSERT_EQ(entries.size(), jobs.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].schema, kLedgerSchemaVersion);
+    EXPECT_EQ(entries[i].label, jobs[i].label);  // submission order, not finish
+    EXPECT_NE(entries[i].flow.find("num_cells"), nullptr);
+    EXPECT_NE(entries[i].flow.find("metrics"), nullptr);
+    // The ledger records the deterministic snapshot only.
+    EXPECT_EQ(entries[i].flow.serialise().find("\"rt."), std::string::npos);
+  }
+
+  // Re-running serially appends flow payloads byte-identical to the
+  // parallel run's — the property bench_compare.py --ledger leans on.
+  SweepOptions serial = opts;
+  serial.jobs = 1;
+  serial.trace_dir.clear();
+  SweepRunner(serial).run(lib(), jobs);
+  const std::vector<LedgerEntry> again = Ledger::read_file(ledger_path);
+  ASSERT_EQ(again.size(), 2 * jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(again[i].config_fp, again[i + jobs.size()].config_fp);
+    EXPECT_EQ(again[i].flow.serialise(), again[i + jobs.size()].flow.serialise());
+  }
+  std::remove(ledger_path.c_str());
+  ::rmdir(trace_dir.c_str());
 }
 
 TEST(SweepRunnerTest, ReportAggregatesStageTotals) {

@@ -341,6 +341,190 @@ TEST(DesignCacheTest, EvictsLeastRecentlyUsedOverBudget) {
   EXPECT_GT(eb->netlist().num_cells(), 0u);
 }
 
+TEST(FlowServerTest, MetricsRpcExposesBothFormats) {
+  FlowServerOptions opts;
+  opts.workers = 1;
+  FlowServer server(tiny_base(), opts);
+  const std::uint64_t job = submit(server, "{\"tp_percent\": 2.0}");
+  ASSERT_EQ(wait_result(server, job).find("state")->as_string(), "done");
+
+  const JsonValue prom =
+      rpc_result(server, "{\"id\": 5, \"method\": \"metrics\"}");  // default format
+  const JsonValue* text = prom.find("prometheus");
+  ASSERT_NE(text, nullptr);
+  ASSERT_TRUE(text->is_string());
+  const std::string& body = text->as_string();
+  EXPECT_NE(body.find("# TYPE tpi_server_jobs_done counter\n"), std::string::npos);
+  EXPECT_NE(body.find("tpi_server_jobs_done 1\n"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE tpi_server_queue_wait_ns summary\n"),
+            std::string::npos);
+  // Per-stage wall time observed for every stage the job ran.
+  EXPECT_NE(body.find("tpi_server_stage_ms_tpi_scan{quantile=\"0.5\"} "),
+            std::string::npos);
+  EXPECT_NE(body.find("tpi_server_stage_ms_sta_count 1\n"), std::string::npos);
+
+  const JsonValue as_json = rpc_result(
+      server, "{\"id\": 6, \"method\": \"metrics\", \"params\": {\"format\": \"json\"}}");
+  const JsonValue* metrics = as_json.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_object());
+  const JsonValue* wait = metrics->find("server.queue_wait_ns");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_NE(wait->find("p50"), nullptr);
+  EXPECT_NE(wait->find("p99"), nullptr);
+  EXPECT_NE(metrics->find("server.jobs_done"), nullptr);
+
+  const JsonValue resp = parse_response(
+      server.handle_request("{\"id\": 7, \"method\": \"metrics\", "
+                            "\"params\": {\"format\": \"xml\"}}"));
+  ASSERT_NE(resp.find("error"), nullptr);
+}
+
+TEST(FlowServerTest, TraceRpcReturnsOnlyThatJobsSpans) {
+  FlowServerOptions opts;
+  opts.workers = 2;
+  FlowServer server(tiny_base(), opts);
+
+  // Two traced jobs run concurrently on the two workers: each retrieved
+  // trace must carry only its own job's spans (pid == job id).
+  const std::uint64_t a =
+      submit(server, "{\"tp_percent\": 2.0, \"record_trace\": true}");
+  const std::uint64_t b =
+      submit(server, "{\"tp_percent\": 4.0, \"record_trace\": true}");
+  const std::uint64_t untraced = submit(server, "{\"tp_percent\": 2.0}");
+  for (const std::uint64_t job : {a, b, untraced}) {
+    ASSERT_EQ(wait_result(server, job).find("state")->as_string(), "done");
+  }
+
+  const auto fetch_trace = [&server](std::uint64_t job) {
+    return rpc_result(server, "{\"id\": 8, \"method\": \"trace\", "
+                              "\"params\": {\"job\": " +
+                                  std::to_string(job) + "}}");
+  };
+  for (const std::uint64_t job : {a, b}) {
+    const JsonValue result = fetch_trace(job);
+    EXPECT_EQ(result.find("job")->as_number(), static_cast<double>(job));
+    const JsonValue* trace = result.find("trace");
+    ASSERT_NE(trace, nullptr);
+    ASSERT_TRUE(trace->is_object());
+    const JsonValue* events = trace->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->is_array());
+    EXPECT_GT(events->as_array().size(), 0u);
+    const std::string serialised = trace->serialise();
+    EXPECT_NE(serialised.find("tpi_scan"), std::string::npos);
+    EXPECT_NE(serialised.find("\"pid\":" + std::to_string(job)), std::string::npos);
+    const std::uint64_t other = job == a ? b : a;
+    EXPECT_EQ(serialised.find("\"pid\":" + std::to_string(other)),
+              std::string::npos);
+  }
+
+  // No recorder attached: the RPC says how to get one.
+  const JsonValue resp = parse_response(
+      server.handle_request("{\"id\": 8, \"method\": \"trace\", "
+                            "\"params\": {\"job\": " +
+                            std::to_string(untraced) + "}}"));
+  const JsonValue* err = resp.find("error");
+  ASSERT_NE(err, nullptr);
+  EXPECT_NE(err->as_string().find("record_trace"), std::string::npos);
+}
+
+TEST(FlowServerTest, TraceRpcRejectsNonTerminalJobs) {
+  StartGate gate;
+  FlowServerOptions opts;
+  opts.workers = 1;
+  opts.on_job_start = gate.hook();
+  FlowServer server(tiny_base(), opts);
+
+  const std::uint64_t blocker =
+      submit(server, "{\"tp_percent\": 0.0, \"record_trace\": true}");
+  gate.wait_first_started();
+  const JsonValue resp = parse_response(
+      server.handle_request("{\"id\": 8, \"method\": \"trace\", "
+                            "\"params\": {\"job\": " +
+                            std::to_string(blocker) + "}}"));
+  const JsonValue* err = resp.find("error");
+  ASSERT_NE(err, nullptr);
+  EXPECT_NE(err->as_string().find("still"), std::string::npos);
+  gate.release();
+  EXPECT_EQ(wait_result(server, blocker).find("state")->as_string(), "done");
+}
+
+// Satellite (c): stats/metrics/trace snapshots polled concurrently with a
+// saturated pool never tear — every response parses, job-state counts in
+// one stats snapshot always sum to the submitted count it reports.
+TEST(FlowServerTest, TelemetrySnapshotsNeverTearUnderSaturatedPool) {
+  FlowServerOptions opts;
+  opts.workers = 2;
+  FlowServer server(tiny_base(), opts);
+
+  constexpr int kClients = 3;
+  constexpr int kJobsPerClient = 6;
+  std::atomic<bool> stop{false};
+  std::atomic<int> poll_failures{0};
+  std::vector<std::thread> pollers;
+  for (int p = 0; p < 2; ++p) {
+    pollers.emplace_back([&server, &stop, &poll_failures] {
+      while (!stop.load()) {
+        const JsonParseResult stats =
+            json_parse(server.handle_request("{\"id\": 1, \"method\": \"stats\"}"));
+        if (!stats.ok || stats.value.find("result") == nullptr) {
+          ++poll_failures;
+          continue;
+        }
+        const JsonValue* result = stats.value.find("result");
+        const JsonValue* jobs = result->find("jobs");
+        if (jobs == nullptr) {
+          ++poll_failures;
+          continue;
+        }
+        double by_state = 0.0;
+        for (const char* s : {"queued", "running", "done", "failed", "cancelled"}) {
+          const JsonValue* v = jobs->find(s);
+          if (v != nullptr) by_state += v->as_number();
+        }
+        // The torn-snapshot check: every submitted job is in exactly one
+        // state within a single stats response.
+        if (by_state != jobs->find("submitted")->as_number()) ++poll_failures;
+
+        const JsonParseResult metrics = json_parse(
+            server.handle_request("{\"id\": 2, \"method\": \"metrics\"}"));
+        if (!metrics.ok || metrics.value.find("result") == nullptr ||
+            metrics.value.find("result")->find("prometheus") == nullptr) {
+          ++poll_failures;
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, c] {
+      for (int j = 0; j < kJobsPerClient; ++j) {
+        const std::uint64_t job = submit(
+            server, j % 2 == 0 ? "{\"tp_percent\": 2.0, \"record_trace\": true}"
+                               : "{\"tp_percent\": 2.0}");
+        EXPECT_EQ(wait_result(server, job).find("state")->as_string(), "done");
+        if (j % 2 == 0) {
+          // Trace retrieval races the pollers and other clients too.
+          const JsonValue trace = rpc_result(
+              server, "{\"id\": 3, \"method\": \"trace\", \"params\": {\"job\": " +
+                          std::to_string(job) + "}}");
+          EXPECT_NE(trace.find("trace"), nullptr);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stop.store(true);
+  for (std::thread& t : pollers) t.join();
+
+  EXPECT_EQ(poll_failures.load(), 0);
+  const JsonValue stats = rpc_result(server, "{\"id\": 4, \"method\": \"stats\"}");
+  EXPECT_EQ(stats.find("jobs")->find("done")->as_number(),
+            static_cast<double>(kClients * kJobsPerClient));
+}
+
 TEST(FlowServerTest, SocketRoundTrip) {
   FlowServerOptions opts;
   opts.workers = 2;

@@ -163,6 +163,103 @@ TEST(MetricsTest, ScopedRegistryRedirectsCurrentThreadOnly) {
   EXPECT_EQ(scoped.snapshot().find("scoped.hit")->count, 1u);
 }
 
+TEST(MetricsTest, HistogramMeanAndQuantileEdgeCases) {
+  HistogramData h;
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty: no data, no NaN
+  h.observe(10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 10.0);
+  // A single sample is every quantile, thanks to the [min, max] clamp.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 10.0);
+  h.observe(30.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);  // q<=0 -> min
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 30.0);  // q>=1 -> max
+}
+
+TEST(MetricsTest, QuantilesAreMonotonicAndBucketBounded) {
+  HistogramData h;
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  const double p50 = h.quantile(0.50);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // 50 (pow2 bucket [32,64)) and 95/99 (bucket [64,128), clamped to max).
+  EXPECT_GE(p50, 32.0);
+  EXPECT_LT(p50, 64.0);
+  EXPECT_GE(p95, 64.0);
+  EXPECT_LE(p99, 100.0);  // clamped to the observed max, not the bucket edge
+}
+
+TEST(MetricsTest, QuantilesAreOrderInsensitive) {
+  // Pure function of the bucket counts: the estimate cannot depend on
+  // observation order, which is what keeps merged sweep metrics
+  // bit-identical across worker counts.
+  HistogramData fwd, rev;
+  for (int i = 0; i < 64; ++i) fwd.observe(static_cast<double>(i * 3 + 1));
+  for (int i = 63; i >= 0; --i) rev.observe(static_cast<double>(i * 3 + 1));
+  for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(fwd.quantile(q), rev.quantile(q));
+  }
+  EXPECT_DOUBLE_EQ(fwd.mean(), rev.mean());
+}
+
+TEST(MetricsTest, HistogramJsonCarriesSummaryFields) {
+  MetricsRegistry reg;
+  reg.observe("h.lat", 2.0);
+  reg.observe("h.lat", 50.0);
+  const std::string json = reg.snapshot().to_json();
+  std::string error;
+  EXPECT_TRUE(json_well_formed(json, &error)) << error;
+  for (const char* field : {"\"mean\":", "\"p50\":", "\"p95\":", "\"p99\":"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(MetricsTest, PrometheusNameMapping) {
+  EXPECT_EQ(prometheus_metric_name("atpg.sim.faults_graded"),
+            "tpi_atpg_sim_faults_graded");
+  EXPECT_EQ(prometheus_metric_name("server.stage_ms.tpi+scan"),
+            "tpi_server_stage_ms_tpi_scan");
+  EXPECT_EQ(prometheus_metric_name("rt.wait"), "tpi_rt_wait");
+}
+
+TEST(MetricsTest, PrometheusExpositionTypesEveryMetric) {
+  MetricsRegistry reg;
+  reg.add("jobs.done", 3);
+  reg.set("cache.bytes", 4096.0);
+  reg.observe("queue.wait_ns", 100.0);
+  reg.observe("queue.wait_ns", 900.0);
+  const std::string text = reg.snapshot().to_prometheus();
+  EXPECT_NE(text.find("# TYPE tpi_jobs_done counter\n"), std::string::npos);
+  EXPECT_NE(text.find("tpi_jobs_done 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tpi_cache_bytes gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("tpi_cache_bytes 4096\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tpi_queue_wait_ns summary\n"), std::string::npos);
+  EXPECT_NE(text.find("tpi_queue_wait_ns{quantile=\"0.5\"} "), std::string::npos);
+  EXPECT_NE(text.find("tpi_queue_wait_ns{quantile=\"0.95\"} "), std::string::npos);
+  EXPECT_NE(text.find("tpi_queue_wait_ns{quantile=\"0.99\"} "), std::string::npos);
+  EXPECT_NE(text.find("tpi_queue_wait_ns_sum 1000\n"), std::string::npos);
+  EXPECT_NE(text.find("tpi_queue_wait_ns_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("tpi_queue_wait_ns_min 100\n"), std::string::npos);
+  EXPECT_NE(text.find("tpi_queue_wait_ns_max 900\n"), std::string::npos);
+  // Every line is either a # comment or "name value" / "name{...} value".
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    ASSERT_FALSE(line.empty());
+    if (line[0] != '#') {
+      EXPECT_EQ(line.compare(0, 4, "tpi_"), 0) << line;
+      EXPECT_NE(line.find(' '), std::string::npos) << line;
+    }
+    start = end + 1;
+  }
+}
+
 TEST(MetricsTest, PeakRssIsPositiveOnSupportedPlatforms) {
 #if defined(__linux__) || defined(__APPLE__)
   EXPECT_GT(peak_rss_kb(), 0.0);

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <future>
+#include <memory>
 #include <new>
 #include <string>
 #include <vector>
@@ -135,6 +137,129 @@ TEST_F(TraceTest, JsonIsWellFormedChromeTraceFormat) {
   const std::size_t first_tid = json.find("\"tid\": ");
   ASSERT_NE(first_tid, std::string::npos);
   EXPECT_NE(json.find("\"tid\": ", first_tid + 1), std::string::npos);
+}
+
+TEST_F(TraceTest, SinkCapturesSpansAndKeepsGlobalLogClean) {
+  TraceSink sink(7, "jobA");
+  EXPECT_FALSE(trace_enabled());
+  {
+    ScopedTraceSink scope(sink);
+    // The sink alone enables tracing via the refcount: no global switch.
+    EXPECT_TRUE(trace_enabled());
+    TPI_SPAN("sink.span");
+    trace_instant("sink.marker");
+  }
+  EXPECT_FALSE(trace_enabled());
+  EXPECT_EQ(trace_event_count(), 0u);  // nothing leaked to the global log
+  EXPECT_EQ(sink.event_count(), 2u);
+  const std::string json = sink.to_json();
+  std::string error;
+  EXPECT_TRUE(json_well_formed(json, &error)) << error;
+  EXPECT_NE(json.find("\"pid\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("jobA"), std::string::npos);
+  EXPECT_NE(json.find("sink.span"), std::string::npos);
+}
+
+TEST_F(TraceTest, NestedSinksInnermostWinsAndRestores) {
+  TraceSink outer(1, "outer");
+  TraceSink inner(2, "inner");
+  {
+    ScopedTraceSink s1(outer);
+    trace_instant("to.outer");
+    {
+      ScopedTraceSink s2(inner);
+      trace_instant("to.inner");
+    }
+    trace_instant("to.outer.again");
+  }
+  EXPECT_EQ(outer.event_count(), 2u);
+  EXPECT_EQ(inner.event_count(), 1u);
+  EXPECT_EQ(inner.to_json().find("to.outer"), std::string::npos);
+  EXPECT_EQ(outer.to_json().find("to.inner"), std::string::npos);
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST_F(TraceTest, ManualEnableSurvivesSinkScopeExit) {
+  set_trace_enabled(true);
+  TraceSink sink(3, "scoped");
+  {
+    ScopedTraceSink scope(sink);
+    trace_instant("in.sink");
+  }
+  // The manual switch holds its own refcount: still tracing globally.
+  EXPECT_TRUE(trace_enabled());
+  trace_instant("in.global");
+  set_trace_enabled(false);
+  EXPECT_EQ(sink.event_count(), 1u);
+  EXPECT_EQ(trace_event_count(), 1u);
+  EXPECT_NE(trace_to_json().find("in.global"), std::string::npos);
+  EXPECT_EQ(trace_to_json().find("in.sink"), std::string::npos);
+}
+
+TEST_F(TraceTest, SinkScopeIsPerThread) {
+  TraceSink sink(4, "main-thread");
+  ScopedTraceSink scope(sink);
+  // A pool worker has no sink scope: its spans land in the global log
+  // (tracing is on — the sink's refcount — so they are recorded).
+  ThreadPool pool(1);
+  pool.submit([] { trace_instant("worker.marker"); }).get();
+  trace_instant("main.marker");
+  EXPECT_EQ(sink.event_count(), 1u);
+  EXPECT_EQ(trace_event_count(), 1u);
+  EXPECT_NE(trace_to_json().find("worker.marker"), std::string::npos);
+  EXPECT_EQ(trace_to_json().find("main.marker"), std::string::npos);
+}
+
+TEST_F(TraceTest, ConcurrentSinksStayIsolated) {
+  constexpr int kJobs = 4;
+  constexpr int kSpans = 200;
+  std::vector<std::unique_ptr<TraceSink>> sinks;
+  for (int j = 0; j < kJobs; ++j) {
+    sinks.push_back(std::make_unique<TraceSink>(
+        static_cast<std::uint64_t>(j + 1), "job" + std::to_string(j)));
+  }
+  {
+    ThreadPool pool(kJobs);
+    std::vector<std::future<void>> done;
+    for (int j = 0; j < kJobs; ++j) {
+      done.push_back(pool.submit([&sinks, j] {
+        ScopedTraceSink scope(*sinks[static_cast<std::size_t>(j)]);
+        for (int i = 0; i < kSpans; ++i) {
+          TPI_SPAN("job.span");
+        }
+      }));
+    }
+    for (auto& f : done) f.get();
+  }
+  for (int j = 0; j < kJobs; ++j) {
+    EXPECT_EQ(sinks[static_cast<std::size_t>(j)]->event_count(),
+              static_cast<std::size_t>(kSpans));
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST_F(TraceTest, SinkWriteJsonRoundTrips) {
+  TraceSink sink(9, "writer \"quoted\"");
+  {
+    ScopedTraceSink scope(sink);
+    TPI_SPAN("write.span");
+  }
+  const std::string path = ::testing::TempDir() + "tpi_sink_trace.json";
+  ASSERT_TRUE(sink.write_json(path));
+  std::string contents;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) contents.append(buf, n);
+    std::fclose(f);
+  }
+  std::remove(path.c_str());
+  std::string error;
+  EXPECT_TRUE(json_well_formed(contents, &error)) << error;  // label escaping
+  EXPECT_NE(contents.find("write.span"), std::string::npos);
 }
 
 TEST_F(TraceTest, ResetClearsEventsButKeepsRecording) {

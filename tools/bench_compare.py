@@ -3,14 +3,22 @@
 
 Usage:
     tools/bench_compare.py OLD.json NEW.json [--threshold PCT]
+    tools/bench_compare.py --ledger RUNS.jsonl [--last N] [--threshold PCT]
 
-Benchmarks are matched by name; the table reports old/new real time and
-the speedup (old / new, so > 1.0 is an improvement). Benchmarks present
-in only one file are listed but not compared. Exits nonzero when any
-matched benchmark regressed by more than --threshold percent (default
-10), so the script can gate CI or a pre-commit check:
+Bench mode: benchmarks are matched by name; the table reports old/new
+real time and the speedup (old / new, so > 1.0 is an improvement).
+Benchmarks present in only one file are listed but not compared. Exits
+nonzero when any matched benchmark regressed by more than --threshold
+percent (default 10), so the script can gate CI or a pre-commit check:
 
     tools/bench_compare.py BENCH_atpg_pre_simd.json BENCH_atpg.json
+
+Ledger mode (--ledger): reads the TPI_LEDGER run ledger (one JSON object
+per line, written by the flow server / SweepRunner) and, per run label,
+diffs the newest entry's deterministic flow metrics against the mean of
+the preceding --last entries with the same label and config fingerprint.
+Any metric drifting more than --threshold percent is printed as an
+offending row and the script exits 1 — same contract as the bench mode.
 """
 
 import argparse
@@ -44,13 +52,115 @@ def fmt_time(ns):
     return f"{ns:.3g} ns"
 
 
+def load_ledger(path):
+    """Parse the JSONL ledger, skipping malformed lines (torn writes)."""
+    entries = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(obj, dict) and "flow" in obj:
+                entries.append(obj)
+    return entries
+
+
+def flatten_metrics(obj, prefix=""):
+    """Numeric leaves of a flow-result object as {dotted.name: value}."""
+    out = {}
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            name = f"{prefix}.{key}" if prefix else key
+            out.update(flatten_metrics(value, name))
+    elif isinstance(obj, bool):
+        pass  # bool is an int subclass; states are not drift-comparable
+    elif isinstance(obj, (int, float)):
+        out[prefix] = float(obj)
+    return out
+
+
+def compare_ledger(path, threshold, last):
+    entries = load_ledger(path)
+    by_label = {}
+    for e in entries:
+        by_label.setdefault(e.get("label", ""), []).append(e)
+
+    compared = 0
+    offenders = []  # (label, metric, baseline, newest, drift_pct)
+    for label in sorted(by_label):
+        runs = by_label[label]
+        newest = runs[-1]
+        # Baseline: the preceding runs with the same config fingerprint —
+        # a config change legitimately moves every metric.
+        base_runs = [e for e in runs[:-1]
+                     if e.get("config_fp") == newest.get("config_fp")]
+        base_runs = base_runs[-last:]
+        if not base_runs:
+            continue
+        compared += 1
+        new_metrics = flatten_metrics(newest.get("flow", {}))
+        base_sums, base_counts = {}, {}
+        for e in base_runs:
+            for name, value in flatten_metrics(e.get("flow", {})).items():
+                base_sums[name] = base_sums.get(name, 0.0) + value
+                base_counts[name] = base_counts.get(name, 0) + 1
+        for name in sorted(new_metrics):
+            if name not in base_sums:
+                continue
+            base = base_sums[name] / base_counts[name]
+            new = new_metrics[name]
+            if base == 0.0:
+                drift = 0.0 if new == 0.0 else float("inf")
+            else:
+                drift = abs(new - base) / abs(base) * 100.0
+            if drift > threshold:
+                offenders.append((label, name, base, new, drift))
+
+    if compared == 0:
+        print("ledger: no label has both a newest entry and same-fingerprint "
+              "history to compare against", file=sys.stderr)
+        return 2
+    if offenders:
+        width = max(len(f"{label}:{name}") for label, name, *_ in offenders)
+        print(f"{'metric':<{width}}  {'baseline':>12}  {'newest':>12}  {'drift':>8}")
+        print(f"{'-' * width}  {'-' * 12}  {'-' * 12}  {'-' * 8}")
+        for label, name, base, new, drift in offenders:
+            print(f"{label + ':' + name:<{width}}  {base:>12.4g}  {new:>12.4g}"
+                  f"  {drift:>7.1f}%")
+        print(f"\n{len(offenders)} metric(s) drifted more than "
+              f"{threshold:.0f}% across {compared} compared label(s)",
+              file=sys.stderr)
+        return 1
+    print(f"ledger: {compared} label(s) compared, no metric drifted more than "
+          f"{threshold:.0f}%")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("old", help="baseline google-benchmark JSON")
-    ap.add_argument("new", help="candidate google-benchmark JSON")
+    ap.add_argument("old", nargs="?", help="baseline google-benchmark JSON")
+    ap.add_argument("new", nargs="?", help="candidate google-benchmark JSON")
     ap.add_argument("--threshold", type=float, default=10.0,
-                    help="regression threshold in percent (default 10)")
+                    help="regression/drift threshold in percent (default 10)")
+    ap.add_argument("--ledger", metavar="PATH",
+                    help="diff the newest run per label in a TPI_LEDGER JSONL "
+                         "file against its history instead of comparing two "
+                         "benchmark files")
+    ap.add_argument("--last", type=int, default=1,
+                    help="ledger mode: baseline is the mean of the last N "
+                         "prior entries per label (default 1)")
     args = ap.parse_args()
+
+    if args.ledger:
+        if args.old or args.new:
+            ap.error("--ledger takes no positional benchmark files")
+        return compare_ledger(args.ledger, args.threshold, max(1, args.last))
+    if not args.old or not args.new:
+        ap.error("bench mode needs OLD.json and NEW.json (or use --ledger)")
 
     old = load_benchmarks(args.old)
     new = load_benchmarks(args.new)

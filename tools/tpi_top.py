@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Live metrics poller for the tpi flow server (top(1) for flow jobs).
+
+Connects to the daemon's unix socket and renders the `metrics` RPC —
+Prometheus text exposition with `tpi_`-prefixed names — plus the `stats`
+job table, refreshing every --interval seconds:
+
+    tools/tpi_top.py --socket tpi_server.sock            # watch loop
+    tools/tpi_top.py --socket tpi_server.sock --once     # one scrape
+    tools/tpi_top.py --socket tpi_server.sock --once --format json
+
+The --once output is exactly what a Prometheus scrape job should ingest
+(pipe it to a textfile-collector drop directory or a pushgateway).
+Stdlib only; the wire protocol is one JSON object per line, matching
+DESIGN.md §12.
+"""
+
+import argparse
+import json
+import socket
+import sys
+import time
+
+
+class RpcClient:
+    """Newline-delimited JSON-RPC over an AF_UNIX stream socket."""
+
+    def __init__(self, path):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.connect(path)
+        self.buf = b""
+        self.next_id = 1
+
+    def call(self, method, params=None):
+        req = {"id": self.next_id, "method": method}
+        self.next_id += 1
+        if params is not None:
+            req["params"] = params
+        self.sock.sendall(json.dumps(req).encode() + b"\n")
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        resp = json.loads(line)
+        if "error" in resp:
+            raise RuntimeError(f"{method}: {resp['error']}")
+        return resp.get("result", {})
+
+    def close(self):
+        self.sock.close()
+
+
+def render_stats(stats):
+    jobs = stats.get("jobs", {})
+    lines = [
+        f"workers {stats.get('workers', '?')}   "
+        f"jobs: {jobs.get('submitted', 0)} submitted, "
+        f"{jobs.get('queued', 0)} queued, {jobs.get('running', 0)} running, "
+        f"{jobs.get('done', 0)} done, {jobs.get('failed', 0)} failed, "
+        f"{jobs.get('cancelled', 0)} cancelled",
+        f"cache: {stats.get('server.cache.hits', 0)} hits / "
+        f"{stats.get('server.cache.misses', 0)} misses, "
+        f"{stats.get('server.cache.entries', 0)} entries, "
+        f"{stats.get('server.cache.bytes', 0) / (1 << 20):.1f} MiB",
+    ]
+    wait = stats.get("server.queue_wait_ns")
+    if isinstance(wait, dict) and wait.get("count", 0) > 0:
+        mean_ms = wait["sum"] / wait["count"] / 1e6
+        lines.append(f"queue wait: n={wait['count']} mean={mean_ms:.2f} ms "
+                     f"max={wait.get('max', 0) / 1e6:.2f} ms")
+    return "\n".join(lines)
+
+
+def scrape(client, fmt):
+    if fmt == "json":
+        return json.dumps(client.call("metrics", {"format": "json"})["metrics"],
+                          indent=2, sort_keys=True)
+    return client.call("metrics", {"format": "prometheus"})["prometheus"]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--socket", default="tpi_server.sock",
+                    help="server unix socket path (default tpi_server.sock)")
+    ap.add_argument("--interval", type=float, default=2.0,
+                    help="refresh period in seconds (default 2)")
+    ap.add_argument("--once", action="store_true",
+                    help="print one scrape and exit (Prometheus exposition)")
+    ap.add_argument("--format", choices=("prometheus", "json"),
+                    default="prometheus", help="metrics payload format")
+    args = ap.parse_args()
+
+    try:
+        client = RpcClient(args.socket)
+    except OSError as e:
+        print(f"cannot connect to {args.socket}: {e}", file=sys.stderr)
+        return 1
+
+    try:
+        if args.once:
+            sys.stdout.write(scrape(client, args.format))
+            if args.format == "json":
+                sys.stdout.write("\n")
+            return 0
+        while True:
+            t0 = time.monotonic()
+            stats = client.call("stats")
+            body = scrape(client, args.format)
+            latency_ms = (time.monotonic() - t0) * 1e3
+            sys.stdout.write("\x1b[2J\x1b[H")  # clear screen, home cursor
+            print(f"tpi_top — {args.socket}  "
+                  f"(poll {latency_ms:.1f} ms, every {args.interval:g}s, "
+                  f"ctrl-c to quit)")
+            print(render_stats(stats))
+            print()
+            sys.stdout.write(body)
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except (ConnectionError, RuntimeError, OSError) as e:
+        print(f"\n{e}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
