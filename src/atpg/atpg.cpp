@@ -72,14 +72,37 @@ void rebuild_live(FaultList& list, std::vector<Fault*>& live) {
 AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability,
                     const AtpgOptions& opts) {
   AtpgResult res;
-  res.faults = build_fault_list(model);
+  res.fault_model = opts.fault_model;
+  res.faults = build_fault_list(model, opts.fault_model);
   res.total_faults = res.faults.total_uncollapsed;
+  const bool loc = opts.fault_model == FaultModel::kTransition;
 
   FaultSimBank bank(model, opts.jobs);
   res.profile.jobs = bank.jobs();
   Podem podem(model, testability, opts.podem);
   Rng rng(opts.seed);
   const std::size_t num_inputs = model.input_nets().size();
+
+  // Launch-on-capture loads the pattern as the launch frame and grades the
+  // derived capture frame; stuck-at grades the pattern directly.
+  auto load_bank = [&](const std::vector<Word>& w) {
+    if (loc) {
+      bank.load_batch_loc(w);
+    } else {
+      bank.load_batch(w);
+    }
+  };
+
+  // Transition targets on pseudo-input nets need the launch frame to set
+  // the site's initial value; map each pseudo-input net to its input slot.
+  std::vector<int> pseudo_input_slot;
+  if (loc) {
+    pseudo_input_slot.assign(model.netlist().num_nets(), -1);
+    for (std::size_t i = model.num_pi_inputs(); i < num_inputs; ++i) {
+      pseudo_input_slot[static_cast<std::size_t>(model.input_nets()[i])] =
+          static_cast<int>(i);
+    }
+  }
 
   // Reusable batch scaffolding, hoisted out of the per-batch loops: the
   // pattern slots (with their bit vectors), the packed input words and the
@@ -100,7 +123,7 @@ AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability
     for (std::size_t k = 0; k < count; ++k) refs.push_back(&batch[k]);
     pack_batch(refs, num_inputs, /*nw=*/1, words);
     bank.configure_lanes(1);
-    bank.load_batch(words);
+    load_bank(words);
     const FaultSimBank::DropOutcome out = bank.grade_and_drop(live);
     ++phase.batches;
     for (std::size_t k = 0; k < count; ++k) res.patterns.push_back(batch[k]);
@@ -135,7 +158,7 @@ AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability
       for (std::size_t k = 0; k < count; ++k) refs.push_back(&batch[k]);
       pack_batch(refs, num_inputs, nb, words);
       bank.configure_lanes(nb);
-      bank.load_batch(words);
+      load_bank(words);
       bank.grade(live, detect);
 
       // Per-sub-batch yields from first-detecting lane words.
@@ -230,6 +253,16 @@ AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability
           p.bits[i] = t == Tern::kX ? static_cast<std::uint8_t>(rng.next_bool() ? 1 : 0)
                                     : static_cast<std::uint8_t>(t == Tern::k1 ? 1 : 0);
         }
+        if (loc) {
+          // The PODEM cube excites the capture-frame stuck-at equivalent;
+          // applied as the launch frame it is a best-effort (pseudo
+          // broadside) vector. When the fault site is a pseudo-input its
+          // launch value is directly controllable: force the transition's
+          // initial value (0 for slow-to-rise, 1 for slow-to-fall). The
+          // two-cycle grading below keeps only truthful detections.
+          const int slot = pseudo_input_slot[static_cast<std::size_t>(f.net)];
+          if (slot >= 0) p.bits[static_cast<std::size_t>(slot)] = f.stuck1 ? 1 : 0;
+        }
       }
       if (batch_n == 0) continue;
       simulate_and_keep(batch_n, res.profile.podem);
@@ -272,7 +305,7 @@ AtpgResult run_atpg(const CombModel& model, const TestabilityResult& testability
       }
       pack_batch(refs, num_inputs, nw, words);
       bank.configure_lanes(nw);
-      bank.load_batch(words);
+      load_bank(words);
       bank.grade(live, detect);
       res.profile.compaction.batches += (count + kWordBits - 1) / kWordBits;
       // Merge in fault-list order: a detected fault keeps the first pattern
@@ -358,6 +391,11 @@ std::int64_t test_data_volume(int num_chains, int max_chain_length, int num_patt
 std::int64_t test_application_time(int max_chain_length, int num_patterns) {
   const std::int64_t l = max_chain_length, p = num_patterns;
   return (l + 1) * p + l;
+}
+
+std::int64_t test_application_time(int max_chain_length, int num_patterns, int capture_cycles) {
+  const std::int64_t l = max_chain_length, p = num_patterns, c = capture_cycles;
+  return (l + c) * p + l;
 }
 
 }  // namespace tpi

@@ -20,6 +20,11 @@ namespace tpi {
 
 struct AtpgOptions {
   std::uint64_t seed = 0xA7961;
+  /// Fault model to target. kStuckAt (the default) keeps the seed's
+  /// behavior bit-for-bit; kTransition grades launch-on-capture pattern
+  /// pairs (the stored pattern is the launch frame, PIs held across both
+  /// cycles, pseudo-inputs fed from the launch frame's captured state).
+  FaultModel fault_model = FaultModel::kStuckAt;
   PodemOptions podem;
   /// Pure-random warm-up batches of 64 patterns (dropped again by static
   /// compaction when useless).
@@ -89,7 +94,10 @@ struct TestPattern {
 };
 
 struct AtpgResult {
+  FaultModel fault_model = FaultModel::kStuckAt;  ///< model this run targeted
   FaultList faults;  ///< final per-fault statuses
+  /// For kStuckAt: one capture cycle per pattern. For kTransition: each
+  /// pattern is the launch frame of a launch-on-capture pair.
   std::vector<TestPattern> patterns;
 
   std::int64_t total_faults = 0;  ///< uncollapsed universe (Table 1 #faults)
@@ -124,5 +132,10 @@ std::int64_t test_data_volume(int num_chains, int max_chain_length, int num_patt
 
 /// Test application time in clock cycles, eq. (2): TAT = (l_max+1)p + l_max.
 std::int64_t test_application_time(int max_chain_length, int num_patterns);
+
+/// Generalized eq. (2) for multi-cycle capture: TAT = (l_max+c)p + l_max
+/// with c capture cycles per pattern (c = 2 for launch-on-capture
+/// transition test; c = 1 reproduces the paper's formula).
+std::int64_t test_application_time(int max_chain_length, int num_patterns, int capture_cycles);
 
 }  // namespace tpi

@@ -67,7 +67,25 @@ std::vector<char> scan_only_nets(const Netlist& nl) {
 
 }  // namespace
 
+const char* fault_model_name(FaultModel model) {
+  switch (model) {
+    case FaultModel::kStuckAt: return "stuck_at";
+    case FaultModel::kTransition: return "transition";
+  }
+  return "?";
+}
+
+std::optional<FaultModel> fault_model_from_name(std::string_view name) {
+  if (name == "stuck_at") return FaultModel::kStuckAt;
+  if (name == "transition") return FaultModel::kTransition;
+  return std::nullopt;
+}
+
 FaultList build_fault_list(const CombModel& model) {
+  return build_fault_list(model, FaultModel::kStuckAt);
+}
+
+FaultList build_fault_list(const CombModel& model, FaultModel fault_model) {
   const Netlist& nl = model.netlist();
   FaultList out;
   const std::vector<char> scan_only = scan_only_nets(nl);
@@ -91,6 +109,7 @@ FaultList build_fault_list(const CombModel& model) {
     f.net = net;
     f.branch = sink >= 0 ? nl.net(net).sinks[static_cast<std::size_t>(sink)] : PinRef{};
     f.stuck1 = stuck1;
+    f.model = fault_model;
     f.equiv_count = equiv;
     if (scan_tested) f.status = FaultStatus::kScanTested;
     index.emplace(Key{net, sink, stuck1}, static_cast<int>(faults.size()));
@@ -177,6 +196,13 @@ FaultList build_fault_list(const CombModel& model) {
           fold(in_net, sink, false, node.out, true);
           fold(in_net, sink, true, node.out, false);
           break;
+        default:
+          break;  // XOR/XNOR/MUX/TSFF: no structural equivalence
+      }
+      // Controlling-value folds hold for stuck-at only: an input transition
+      // is not equivalent to an output transition through AND/OR gates.
+      if (fault_model != FaultModel::kStuckAt) continue;
+      switch (node.func) {
         case CellFunc::kAnd:
           fold(in_net, sink, false, node.out, false);
           break;

@@ -1,19 +1,47 @@
-// Single stuck-at fault model with equivalence collapsing.
+// Pluggable fault models with equivalence collapsing.
 //
 // The fault universe follows industrial practice (and the paper's Table 1
-// "#faults" column): two stuck-at faults per connected cell pin, plus two
-// per primary input. Faults on scan infrastructure (TI/TE/TR pins, clock
+// "#faults" column): two faults per connected cell pin, plus two per
+// primary input. Faults on scan infrastructure (TI/TE/TR pins, clock
 // pins and pure scan-routing nets) are classified as tested by the scan
 // shift/flush tests rather than by ATPG patterns — this is why the paper's
 // fault coverage *rises* slightly with TPI: test points add easy faults.
+//
+// Two models share that universe:
+//
+//  * kStuckAt — the paper's model: a net permanently holds 0/1.
+//  * kTransition — gross-delay faults under launch-on-capture: stuck1 =
+//    false is slow-to-rise (the net fails to make its 0→1 transition by
+//    the capture edge), stuck1 = true is slow-to-fall. A transition fault
+//    behaves as the corresponding stuck-at fault in the *capture* frame,
+//    conditioned on the opposite value in the *launch* frame — which is
+//    exactly how the two-cycle fault simulation grades it.
+//
+// Collapsing differs per model: stuck-at folds through buffers, inverters
+// and controlling values of AND/NAND/OR/NOR; transition faults only fold
+// through buffers and inverters (a controlling input value blocks the
+// gate, but an input *transition* is not equivalent to an output
+// transition, so the controlling-value folds are invalid).
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "sim/comb_model.hpp"
 
 namespace tpi {
+
+enum class FaultModel : std::uint8_t {
+  kStuckAt,     ///< single stuck-at (the paper's model; the default)
+  kTransition,  ///< transition delay under launch-on-capture
+};
+
+/// Canonical "stuck_at" | "transition" spelling (FlowConfig JSON / env).
+const char* fault_model_name(FaultModel model);
+/// Inverse of fault_model_name; nullopt for unknown spellings.
+std::optional<FaultModel> fault_model_from_name(std::string_view name);
 
 enum class FaultStatus : std::uint8_t {
   kUndetected,
@@ -26,7 +54,10 @@ enum class FaultStatus : std::uint8_t {
 struct Fault {
   NetId net = kNoNet;   ///< fault site
   PinRef branch;        ///< specific sink pin; invalid = stem (driver side)
-  bool stuck1 = false;  ///< true = stuck-at-1
+  /// kStuckAt: true = stuck-at-1. kTransition: true = slow-to-fall (the
+  /// capture-frame equivalent stuck value is the same bit either way).
+  bool stuck1 = false;
+  FaultModel model = FaultModel::kStuckAt;
   FaultStatus status = FaultStatus::kUndetected;
   /// Number of uncollapsed faults this representative stands for (>= 1).
   std::int32_t equiv_count = 1;
@@ -52,7 +83,10 @@ struct FaultList {
   }
 };
 
-/// Build the collapsed fault list for the capture-view model.
+/// Build the collapsed fault list for the capture-view model. The default
+/// is the stuck-at universe; kTransition builds the same sites with the
+/// transition-only (buffer/inverter) collapsing and every Fault::model set.
 FaultList build_fault_list(const CombModel& model);
+FaultList build_fault_list(const CombModel& model, FaultModel fault_model);
 
 }  // namespace tpi

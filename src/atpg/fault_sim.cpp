@@ -22,12 +22,35 @@ void FaultSimulator::configure_lanes(int lane_words) {
 void FaultSimulator::load_batch(const std::vector<Word>& input_words) {
   good_.load_inputs(input_words);
   good_.run();
+  has_launch_ = false;
+}
+
+void FaultSimulator::load_batch_loc(const std::vector<Word>& input_words) {
+  good_.load_inputs(input_words);
+  good_.run();
+  launch_values_ = good_.values();  // V1 frame, net-major
+  const CombModel& m = *model_;
+  const std::size_t nw = static_cast<std::size_t>(lane_words());
+  capture_inputs_ = input_words;  // PIs held across launch and capture
+  const std::size_t nff = m.boundary_ffs().size();
+  for (std::size_t i = 0; i < nff; ++i) {
+    const NetId d = m.observe_nets()[m.num_po_observes() + i];
+    const Word* w = launch_values_.data() + static_cast<std::size_t>(d) * nw;
+    for (std::size_t j = 0; j < nw; ++j) {
+      capture_inputs_[(m.num_pi_inputs() + i) * nw + j] = w[j];
+    }
+  }
+  good_.load_inputs(capture_inputs_);
+  good_.run();
+  has_launch_ = true;
 }
 
 void FaultSimulator::copy_good_from(const FaultSimulator& other) {
   assert(model_ == other.model_);
   configure_lanes(other.lane_words());
   good_.assign_values(other.good_.values());
+  has_launch_ = other.has_launch_;
+  if (has_launch_) launch_values_ = other.launch_values_;
 }
 
 FaultTask resolve_fault_task(const CombModel& model, const Fault& fault) {
@@ -62,9 +85,24 @@ Word FaultSimulator::detects(const Fault& fault) {
   return out[0];
 }
 
+void FaultSimulator::apply_launch_mask(const Fault& fault, Word* detect) const {
+  if (fault.model != FaultModel::kTransition) return;
+  const std::size_t nw = static_cast<std::size_t>(lane_words());
+  if (!has_launch_) {
+    for (std::size_t j = 0; j < nw; ++j) detect[j] = 0;
+    return;
+  }
+  const Word* launch = launch_values_.data() + static_cast<std::size_t>(fault.net) * nw;
+  for (std::size_t j = 0; j < nw; ++j) {
+    // Slow-to-fall needs launch 1 at the site; slow-to-rise needs launch 0.
+    detect[j] &= fault.stuck1 ? launch[j] : ~launch[j];
+  }
+}
+
 void FaultSimulator::detects_wide(const Fault& fault, Word* out) {
   const FaultTask task = resolve(fault);
   sim_kernels().grade(*model_, scratch_, good_.values().data(), &task, 1, out, stats_);
+  apply_launch_mask(fault, out);
 }
 
 void FaultSimulator::grade(const Fault* const* faults, std::size_t count, Word* detect) {
@@ -72,6 +110,10 @@ void FaultSimulator::grade(const Fault* const* faults, std::size_t count, Word* 
   for (std::size_t i = 0; i < count; ++i) tasks_[i] = resolve(*faults[i]);
   sim_kernels().grade(*model_, scratch_, good_.values().data(), tasks_.data(), count, detect,
                       stats_);
+  const std::size_t nw = static_cast<std::size_t>(lane_words());
+  for (std::size_t i = 0; i < count; ++i) {
+    apply_launch_mask(*faults[i], detect + i * nw);
+  }
 }
 
 Word FaultSimulator::drop_detected(std::vector<Fault*>& faults) {
@@ -105,6 +147,11 @@ void FaultSimBank::configure_lanes(int lane_words) {
 
 void FaultSimBank::load_batch(const std::vector<Word>& input_words) {
   sims_.front()->load_batch(input_words);
+  for (std::size_t i = 1; i < sims_.size(); ++i) sims_[i]->copy_good_from(*sims_.front());
+}
+
+void FaultSimBank::load_batch_loc(const std::vector<Word>& input_words) {
+  sims_.front()->load_batch_loc(input_words);
   for (std::size_t i = 1; i < sims_.size(); ++i) sims_[i]->copy_good_from(*sims_.front());
 }
 

@@ -1,4 +1,4 @@
-// Event-driven, pattern-parallel stuck-at fault simulation.
+// Event-driven, pattern-parallel fault simulation (stuck-at + transition).
 //
 // For each fault the simulator diverges a faulty-value overlay from the
 // good-value state and propagates events in topological order through the
@@ -21,6 +21,16 @@
 // instances (shared read-only CombModel, per-worker faulty-value scratch)
 // and merges detection results in fault-list order, so the outcome is
 // bit-identical to the serial path at any worker count.
+//
+// Transition faults are graded over launch-on-capture pattern pairs loaded
+// with load_batch_loc(): the launch frame V1 is simulated, the capture
+// frame holds the PIs and feeds each pseudo-input from the launch frame's
+// captured D value, and the kernels then grade the *capture* frame exactly
+// as for stuck-at. The transition condition (the fault site held the
+// launch value that makes the slow transition happen) is applied as a
+// per-lane mask after the kernel: slow-to-rise requires launch value 0,
+// slow-to-fall requires launch value 1. The kernels themselves are
+// untouched, so backend bit-identity carries over.
 #pragma once
 
 #include <bit>
@@ -70,8 +80,16 @@ class FaultSimulator {
   /// it. With lane_words() == 1 this is the legacy 64-pattern interface.
   void load_batch(const std::vector<Word>& input_words);
 
+  /// Launch-on-capture batch for transition faults: simulate `input_words`
+  /// as the launch frame V1, then build and simulate the capture frame
+  /// (PIs held, pseudo-inputs fed from V1's captured D observes). After
+  /// this call the good state is the capture frame and the launch frame's
+  /// values are retained for the transition launch condition.
+  void load_batch_loc(const std::vector<Word>& input_words);
+
   /// Adopt another simulator's good-circuit state (same model, same batch)
   /// without re-evaluating it — the parallel bank loads the batch once.
+  /// Copies the launch frame too, if the source holds one.
   void copy_good_from(const FaultSimulator& other);
 
   /// Resolve a fault against the model for the grading kernels.
@@ -100,10 +118,19 @@ class FaultSimulator {
   void reset_stats() { stats_ = {}; }
 
  private:
+  /// Per-lane-word transition launch mask for `fault` (slow-to-rise: site
+  /// was 0 at launch; slow-to-fall: site was 1), ANDed into the kernel's
+  /// capture-frame detect words. Zero when no launch frame is loaded — a
+  /// transition fault cannot be detected by a single-frame batch.
+  void apply_launch_mask(const Fault& fault, Word* detect) const;
+
   const CombModel* model_;
   ParallelSim good_;
   FaultScratch scratch_;
   std::vector<FaultTask> tasks_;  ///< reused per grade() call
+  std::vector<Word> launch_values_;   ///< V1 net values (load_batch_loc)
+  std::vector<Word> capture_inputs_;  ///< scratch for the capture frame
+  bool has_launch_ = false;
   FaultSimStats stats_;
 };
 
@@ -136,6 +163,9 @@ class FaultSimBank {
   /// Load + evaluate the batch once (input-major wide layout, see
   /// FaultSimulator::load_batch), then copy the good state to every worker.
   void load_batch(const std::vector<Word>& input_words);
+
+  /// Launch-on-capture variant (see FaultSimulator::load_batch_loc).
+  void load_batch_loc(const std::vector<Word>& input_words);
 
   /// Grade every fault: detect[i*lane_words() + j] = fault i, lane word j.
   void grade(const std::vector<Fault*>& faults, std::vector<Word>& detect);

@@ -58,8 +58,26 @@ void Misr::absorb(std::uint64_t value) {
 
 LbistResult run_lbist(const CombModel& model, const LbistOptions& opts) {
   LbistResult res;
-  FaultList faults = build_fault_list(model);
+  const bool transition = opts.fault_model == FaultModel::kTransition;
+  FaultList faults = build_fault_list(model, opts.fault_model);
   res.total_faults = faults.total_uncollapsed;
+  res.capture_period_ps = opts.capture_period_ps;
+
+  // At-speed qualification: a gross-delay defect of size delta at a site
+  // with data arrival time a is caught at capture period T only when
+  // a + delta > T — otherwise the path's slack swallows the extra delay.
+  // With the default delta = T (a gross defect) every site with positive
+  // arrival qualifies at speed, while a slow clock (T = k * t_cp) leaves
+  // almost nothing observable: the at-speed vs slow-speed coverage gap.
+  const bool qualify =
+      transition && opts.capture_period_ps > 0.0 && opts.arrival_ps != nullptr;
+  auto qualifies = [&](const Fault& f) {
+    if (!qualify) return true;
+    const double arrival = (*opts.arrival_ps)[static_cast<std::size_t>(f.net)];
+    const double delta =
+        opts.fault_size_ps > 0.0 ? opts.fault_size_ps : opts.capture_period_ps;
+    return arrival + delta > opts.capture_period_ps;
+  };
 
   FaultSimulator fsim(model);
   Lfsr lfsr(opts.lfsr_degree, opts.lfsr_seed);
@@ -68,7 +86,12 @@ LbistResult run_lbist(const CombModel& model, const LbistOptions& opts) {
   std::vector<Fault*> live;
   live.reserve(faults.faults.size());
   for (Fault& f : faults.faults) {
-    if (f.status == FaultStatus::kUndetected) live.push_back(&f);
+    if (f.status == FaultStatus::kUndetected && qualifies(f)) live.push_back(&f);
+  }
+  if (qualify) {
+    for (const Fault* f : live) res.qualified += f->equiv_count;
+  } else {
+    res.qualified = res.total_faults;
   }
 
   const std::size_t num_inputs = model.input_nets().size();
@@ -77,9 +100,14 @@ LbistResult run_lbist(const CombModel& model, const LbistOptions& opts) {
   int applied = 0;
   while (applied < opts.max_patterns) {
     // One batch = 64 pseudo-random scan loads, phase-shifted per input by
-    // drawing a fresh word from the PRPG stream.
+    // drawing a fresh word from the PRPG stream. Transition sessions run
+    // each load as a launch-on-capture pair.
     for (auto& w : words) w = lfsr.next_word();
-    fsim.load_batch(words);
+    if (transition) {
+      fsim.load_batch_loc(words);
+    } else {
+      fsim.load_batch(words);
+    }
     fsim.good().read_observes(responses);
     for (const Word r : responses) misr.absorb(r);
 

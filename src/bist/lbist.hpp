@@ -72,6 +72,22 @@ struct LbistOptions {
   int report_every = 1024;      ///< granularity of the coverage curve
   std::uint64_t lfsr_seed = 0xACE1u;
   int lfsr_degree = 32;
+
+  /// kStuckAt grades each scan load in a single capture cycle (the seed
+  /// behavior); kTransition grades launch-on-capture pattern pairs.
+  FaultModel fault_model = FaultModel::kStuckAt;
+  /// At-speed timing qualification (kTransition only): the capture clock
+  /// period in ps — take it from run_sta's worst path (F_max) to clock the
+  /// BIST at speed, or a multiple of it for a slow-speed session. 0
+  /// disables qualification (every transition fault stays eligible).
+  double capture_period_ps = 0.0;
+  /// Assumed gross-delay defect size in ps; <= 0 means "one full capture
+  /// period" (a gross defect), making a fault testable at period T exactly
+  /// when its site has positive arrival time.
+  double fault_size_ps = 0.0;
+  /// Per-net data arrival times from run_sta (StaResult::arrival_ps),
+  /// required for qualification; may be null when capture_period_ps == 0.
+  const std::vector<double>* arrival_ps = nullptr;
 };
 
 struct LbistResult {
@@ -82,6 +98,12 @@ struct LbistResult {
   std::int64_t total_faults = 0;     ///< uncollapsed universe
   std::uint64_t signature = 0;       ///< MISR signature of the good machine
   int patterns_applied = 0;
+  /// Echo of LbistOptions::capture_period_ps (0 when not qualifying).
+  double capture_period_ps = 0.0;
+  /// Equivalent transition faults whose site delay can violate the capture
+  /// period (eligible for at-speed detection); total_faults when no
+  /// qualification was requested.
+  std::int64_t qualified = 0;
 };
 
 /// Run a pseudo-random BIST session on the capture-view model: LFSR-driven

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "bist/lbist.hpp"
 #include "circuits/generator.hpp"
 #include "flow/flow_config.hpp"
 #include "layout/placement.hpp"
@@ -274,7 +275,13 @@ void FlowEngine::do_reorder_atpg() {
   res_.fault_efficiency_pct = res_.atpg.fault_efficiency_pct;
   res_.saf_patterns = res_.atpg.num_patterns();
   res_.tdv_bits = test_data_volume(res_.num_chains, res_.max_chain_length, res_.saf_patterns);
-  res_.tat_cycles = test_application_time(res_.max_chain_length, res_.saf_patterns);
+  // Launch-on-capture spends one extra capture cycle per pattern (eq. 2
+  // generalized); TDV is unchanged — the scan data volume does not depend
+  // on the capture cycle count.
+  const int capture_cycles =
+      res_.atpg.fault_model == FaultModel::kTransition ? 2 : 1;
+  res_.tat_cycles =
+      test_application_time(res_.max_chain_length, res_.saf_patterns, capture_cycles);
 }
 
 // ---- stage 4: ECO — buffers placed, clock trees, fillers, routing ----
@@ -312,7 +319,43 @@ void FlowEngine::do_eco() {
 void FlowEngine::do_extract() { extraction_ = extract(*nl_, *routes_); }
 
 // ---- stage 6: static timing analysis ----
-void FlowEngine::do_sta() { res_.sta = run_sta(*db_, *extraction_); }
+void FlowEngine::do_sta() {
+  res_.sta = run_sta(*db_, *extraction_);
+  if (!opts_.at_speed_lbist || !res_.sta.worst.valid) return;
+
+  // At-speed LBIST pair (opt-in): transition-fault BIST clocked at the
+  // post-TPI F_max, with a slow-speed control session. Both sessions share
+  // the LFSR seed, so the coverage gap isolates the clock period.
+  const double t_cp = res_.sta.worst.t_cp_ps;
+  LbistOptions lo;
+  lo.fault_model = FaultModel::kTransition;
+  lo.capture_period_ps = t_cp;
+  // Defect size pinned to the rated clock period for BOTH sessions: at
+  // speed every site with positive arrival qualifies, while the slow
+  // capture (4x t_cp) needs arrival > 3 x t_cp — more slack than any path
+  // has — so the coverage gap isolates the clock period, which is the
+  // point of the experiment. (Leaving fault_size_ps at 0 would re-derive
+  // delta from each session's own period and erase the gap.)
+  lo.fault_size_ps = t_cp;
+  lo.arrival_ps = &res_.sta.arrival_ps;
+  const CombModel& capture = db_->comb_model(SeqView::kCapture);
+  const LbistResult fast = run_lbist(capture, lo);
+  lo.capture_period_ps = kAtSpeedSlowFactor * t_cp;
+  const LbistResult slow = run_lbist(capture, lo);
+
+  FlowResult::AtSpeedReport& r = res_.at_speed;
+  r.ran = true;
+  r.capture_period_ps = t_cp;
+  r.at_speed_coverage_pct = fast.final_coverage_pct;
+  r.slow_speed_coverage_pct = slow.final_coverage_pct;
+  r.qualified_faults = fast.qualified;
+  r.total_faults = fast.total_faults;
+  metrics().add("atspeed.lbist.qualified", static_cast<std::uint64_t>(fast.qualified));
+  metrics().add("atspeed.lbist.patterns", static_cast<std::uint64_t>(fast.patterns_applied));
+  log_info() << res_.circuit << " at-speed LBIST: Tcp=" << t_cp << "ps coverage="
+             << fast.final_coverage_pct << "% (slow@" << kAtSpeedSlowFactor
+             << "x=" << slow.final_coverage_pct << "%)";
+}
 
 // ---- stage 7 (opt-in): equivalence check + pattern replay ----
 //

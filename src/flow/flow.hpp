@@ -64,7 +64,19 @@ struct FlowOptions {
   /// the ATPG pattern set against every claimed fault detection.
   bool verify = false;
   EquivOptions verify_equiv;
+
+  /// Opt-in at-speed LBIST experiment, run at the end of the sta stage: a
+  /// transition-fault BIST session clocked at the post-TPI netlist's F_max
+  /// (capture period = StaResult::worst.t_cp_ps) plus a slow-speed control
+  /// session at kAtSpeedSlowFactor x that period; the coverage gap is the
+  /// at-speed value of the layout. Requires the sta stage.
+  bool at_speed_lbist = false;
 };
+
+/// Slow-speed control clock for the at-speed LBIST pair, as a multiple of
+/// the at-speed capture period (a production-tester shift clock is several
+/// times slower than F_max).
+inline constexpr double kAtSpeedSlowFactor = 4.0;
 
 /// StageMask equivalent of the deprecated run_atpg / run_sta booleans:
 /// all stages, minus reorder_atpg when !run_atpg, minus extract+sta when
@@ -128,6 +140,22 @@ struct FlowResult {
   double scan_wire_length_um = 0.0;
   AtpgResult atpg;
   VerifySummary verify;  ///< populated by the opt-in verify stage
+
+  /// At-speed vs slow-speed transition LBIST pair (FlowOptions::
+  /// at_speed_lbist): capture period from the post-TPI STA, coverage gap =
+  /// the faults only an at-speed clock can catch.
+  struct AtSpeedReport {
+    bool ran = false;
+    double capture_period_ps = 0.0;  ///< at-speed period = STA worst t_cp
+    double at_speed_coverage_pct = 0.0;
+    double slow_speed_coverage_pct = 0.0;
+    std::int64_t qualified_faults = 0;  ///< at-speed-eligible equiv faults
+    std::int64_t total_faults = 0;
+    double coverage_delta_pct() const {
+      return at_speed_coverage_pct - slow_speed_coverage_pct;
+    }
+  };
+  AtSpeedReport at_speed;
 
   // ---- instrumentation ----
   StageTimings timings;    ///< per-stage wall clock for this run

@@ -103,6 +103,16 @@ FlowConfig FlowConfig::from_env(const FlowConfig& base) {
   cfg.bench_jobs = static_cast<int>(env_int("TPI_BENCH_JOBS", base.bench_jobs, 0, kMaxJobs));
   cfg.options.atpg.jobs =
       static_cast<int>(env_int("TPI_ATPG_JOBS", base.options.atpg.jobs, 0, kMaxJobs));
+  if (const std::optional<std::string> v = env_string("TPI_FAULT_MODEL")) {
+    if (const std::optional<FaultModel> m = fault_model_from_name(*v)) {
+      cfg.options.atpg.fault_model = *m;
+    } else {
+      log_warn() << "config: invalid TPI_FAULT_MODEL=\"" << *v
+                 << "\" (want stuck_at|transition)";
+    }
+  }
+  cfg.server_queue_limit = static_cast<int>(
+      env_int("TPI_SERVER_QUEUE_LIMIT", base.server_queue_limit, 0, kMaxJobs));
   if (const std::optional<std::string> v = env_string("TPI_BENCH_JSON")) cfg.bench_json = *v;
   if (const std::optional<std::string> v = env_string("TPI_TRACE")) cfg.trace_path = *v;
   if (const std::optional<std::string> v = env_string("TPI_TRACE_DIR")) cfg.trace_dir = *v;
@@ -187,6 +197,18 @@ bool FlowConfig::from_json(std::string_view text, const FlowConfig& base, FlowCo
       const std::optional<long> j = int_from_json(v, 0, kMaxJobs);
       if (!j) return type_error("a worker count in [0, 4096]");
       cfg.options.atpg.jobs = static_cast<int>(*j);
+    } else if (key == "fault_model") {
+      if (!v.is_string()) return type_error("\"stuck_at\" or \"transition\"");
+      const std::optional<FaultModel> m = fault_model_from_name(v.as_string());
+      if (!m) return type_error("\"stuck_at\" or \"transition\"");
+      cfg.options.atpg.fault_model = *m;
+    } else if (key == "at_speed") {
+      if (!v.is_bool()) return type_error("a boolean");
+      cfg.options.at_speed_lbist = v.as_bool();
+    } else if (key == "server_queue_limit") {
+      const std::optional<long> q = int_from_json(v, 0, kMaxJobs);
+      if (!q) return type_error("a queue depth in [0, 4096]");
+      cfg.server_queue_limit = static_cast<int>(*q);
     } else if (key == "max_patterns") {
       const std::optional<long> p = int_from_json(v, 1, 100000000);
       if (!p) return type_error("a positive pattern cap");
@@ -272,6 +294,15 @@ std::string FlowConfig::to_json() const {
   o.set("stages", stages_to_json(stages));
   o.set("atpg_jobs", options.atpg.jobs);
   o.set("priority", priority);
+  // New knobs are emitted only when non-default, so pre-existing configs
+  // keep their serialised form (and hence their ledger fingerprints).
+  if (options.atpg.fault_model != defaults.options.atpg.fault_model) {
+    o.set("fault_model", fault_model_name(options.atpg.fault_model));
+  }
+  if (options.at_speed_lbist) o.set("at_speed", true);
+  if (server_queue_limit != defaults.server_queue_limit) {
+    o.set("server_queue_limit", server_queue_limit);
+  }
   if (options.atpg.max_patterns != defaults.options.atpg.max_patterns) {
     o.set("max_patterns", options.atpg.max_patterns);
   }

@@ -7,11 +7,11 @@
 // FlowOptions, the StageMask, the job counts and the seeds, buildable
 //
 //   * from the environment  — FlowConfig::from_env(), the single place
-//     TPI_BENCH_JOBS / TPI_ATPG_JOBS / TPI_BENCH_SCALE / TPI_BENCH_JSON /
-//     TPI_TRACE / TPI_TRACE_DIR / TPI_LEDGER / TPI_LOG_LEVEL
-//     (+ TPI_BENCH_VERBOSE alias) / TPI_FUZZ_SEED / TPI_FUZZ_ITERS /
-//     TPI_SERVER_SOCKET / TPI_SERVER_CACHE_MB / TPI_SIMD are parsed and
-//     validated;
+//     TPI_BENCH_JOBS / TPI_ATPG_JOBS / TPI_FAULT_MODEL / TPI_BENCH_SCALE /
+//     TPI_BENCH_JSON / TPI_TRACE / TPI_TRACE_DIR / TPI_LEDGER /
+//     TPI_LOG_LEVEL (+ TPI_BENCH_VERBOSE alias) / TPI_FUZZ_SEED /
+//     TPI_FUZZ_ITERS / TPI_SERVER_SOCKET / TPI_SERVER_CACHE_MB /
+//     TPI_SERVER_QUEUE_LIMIT / TPI_SIMD are parsed and validated;
 //   * from JSON             — FlowConfig::from_json(), used by the flow
 //     server's submit RPC and config files.
 //
@@ -83,6 +83,11 @@ struct FlowConfig {
   std::string server_socket = "tpi_server.sock";
   /// Flow-server design-cache budget in MiB (TPI_SERVER_CACHE_MB).
   int server_cache_mb = 256;
+  /// Flow-server admission limit (TPI_SERVER_QUEUE_LIMIT): submit RPCs
+  /// arriving while this many jobs are already queued (not yet running)
+  /// get a structured "queue_full" error instead of queueing. 0 = no
+  /// limit (the seed behavior).
+  int server_queue_limit = 0;
   /// Simulation kernel backend (TPI_SIMD): "auto" dispatches to the widest
   /// ISA the CPU supports; "scalar" / "avx2" / "avx512" pin it. Results
   /// are bit-identical across backends — this knob only moves wall clock
@@ -99,11 +104,12 @@ struct FlowConfig {
   /// Layer a JSON object over `base`. Recognised keys mirror the struct
   /// (see DESIGN.md §12 for the schema): "profile", "scale",
   /// "tp_percent", "tpi_method", "seed", "stages", "atpg_jobs",
-  /// "max_patterns", "verify", "layout_driven_reorder",
-  /// "timing_driven_tpi", "timing_exclude_slack_ps", "priority",
-  /// "record_trace", "bench_jobs", "bench_json", "trace", "trace_dir",
-  /// "ledger", "log_level", "fuzz_seed", "fuzz_iters", "server_socket",
-  /// "server_cache_mb", "simd".
+  /// "fault_model", "at_speed", "max_patterns", "verify",
+  /// "layout_driven_reorder", "timing_driven_tpi",
+  /// "timing_exclude_slack_ps", "priority", "record_trace", "bench_jobs",
+  /// "bench_json", "trace", "trace_dir", "ledger", "log_level",
+  /// "fuzz_seed", "fuzz_iters", "server_socket", "server_cache_mb",
+  /// "server_queue_limit", "simd".
   /// Unknown keys or type mismatches fail with a message in *error
   /// (when non-null) and return false, leaving `out` untouched.
   static bool from_json(std::string_view text, const FlowConfig& base, FlowConfig& out,

@@ -61,6 +61,21 @@ JsonValue flow_result_to_json_value(const FlowResult& r) {
     v.set("replay_ok", r.verify.replay_ok);
     o.set("verify", v);
   }
+  // Fault-model / at-speed keys are conditional so the default stuck-at
+  // flow's JSON stays byte-identical to the pre-refactor output.
+  if (r.atpg.fault_model == FaultModel::kTransition) {
+    o.set("fault_model", fault_model_name(r.atpg.fault_model));
+  }
+  if (r.at_speed.ran) {
+    JsonValue a{JsonObject{}};
+    a.set("capture_period_ps", r.at_speed.capture_period_ps);
+    a.set("at_speed_coverage_pct", r.at_speed.at_speed_coverage_pct);
+    a.set("slow_speed_coverage_pct", r.at_speed.slow_speed_coverage_pct);
+    a.set("coverage_delta_pct", r.at_speed.coverage_delta_pct());
+    a.set("qualified_faults", r.at_speed.qualified_faults);
+    a.set("total_faults", r.at_speed.total_faults);
+    o.set("at_speed", a);
+  }
   o.set("metrics", metrics_without_designdb(r.metrics));
   return o;
 }

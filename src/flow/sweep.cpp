@@ -112,6 +112,19 @@ std::string SweepReport::to_json() const {
     out += "\"chip_area_um2\": " + fmt_double(r.chip_area_um2) + ", ";
     out += "\"wire_length_um\": " + fmt_double(r.wire_length_um) + ", ";
     out += "\"t_cp_ps\": " + fmt_double(r.sta.worst.valid ? r.sta.worst.t_cp_ps : 0.0) + ", ";
+    // Conditional keys: stuck-at cells keep the seed's exact layout.
+    if (r.atpg.fault_model == FaultModel::kTransition) {
+      out += "\"fault_model\": \"transition\", ";
+    }
+    if (r.at_speed.ran) {
+      out += "\"at_speed\": {";
+      out += "\"capture_period_ps\": " + fmt_double(r.at_speed.capture_period_ps) + ", ";
+      out += "\"at_speed_coverage_pct\": " + fmt_double(r.at_speed.at_speed_coverage_pct) + ", ";
+      out += "\"slow_speed_coverage_pct\": " +
+             fmt_double(r.at_speed.slow_speed_coverage_pct) + ", ";
+      out += "\"coverage_delta_pct\": " + fmt_double(r.at_speed.coverage_delta_pct()) + ", ";
+      out += "\"qualified_faults\": " + std::to_string(r.at_speed.qualified_faults) + "}, ";
+    }
     out += "\"atpg_kernel\": " + atpg_profile_json(r.atpg.profile) + ", ";
     out += "\"stages\": " + stages_json(r.timings) + "}";
   }

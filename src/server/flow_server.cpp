@@ -57,6 +57,7 @@ FlowServer::FlowServer(const FlowConfig& base)
         o.workers = base.effective_bench_jobs();
         o.cache_mb = base.server_cache_mb;
         o.socket_path = base.server_socket;
+        o.max_queue_depth = base.server_queue_limit;
         return o;
       }()) {}
 
@@ -216,6 +217,22 @@ std::string FlowServer::handle_request(const std::string& line) {
     if (!FlowConfig::from_json(params_text, base_, cfg, &err)) return fail(err);
     CircuitProfile profile;
     if (!cfg.resolve_profile(profile, &err)) return fail(err);
+
+    // Admission control: reject instead of queueing when the pool backlog
+    // is at the limit. The depth is advisory (another submit may race in),
+    // but the bound holds: a job is only enqueued after this check.
+    if (opts_.max_queue_depth > 0) {
+      const std::size_t depth = pool_->pending();
+      if (depth >= static_cast<std::size_t>(opts_.max_queue_depth)) {
+        metrics_.add("server.jobs_rejected");
+        JsonValue resp{JsonObject{}};
+        resp.set("id", id);
+        resp.set("error", "queue_full");
+        resp.set("queue_depth", static_cast<std::int64_t>(depth));
+        resp.set("queue_limit", opts_.max_queue_depth);
+        return resp.serialise();
+      }
+    }
 
     auto job = std::make_shared<Job>();
     job->config = std::move(cfg);

@@ -73,6 +73,12 @@ struct FlowServerOptions {
   int workers = 0;    ///< flow worker threads (<= 0: hardware concurrency)
   int cache_mb = 256; ///< DesignCache budget
   std::string socket_path = "tpi_server.sock";
+  /// Admission control: a submit arriving while this many jobs already
+  /// wait in the pool queue (not yet running) is rejected with a
+  /// structured "queue_full" error carrying the current depth, instead of
+  /// queueing unboundedly. 0 = unlimited (the seed behavior). From
+  /// FlowConfig::server_queue_limit / TPI_SERVER_QUEUE_LIMIT.
+  int max_queue_depth = 0;
   /// Test hook: called on the worker thread right after a job leaves the
   /// queue (state already kRunning), before any flow work. May block —
   /// tests use it to gate scheduling deterministically.

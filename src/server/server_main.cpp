@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   opts.workers = config.effective_bench_jobs();
   opts.cache_mb = config.server_cache_mb;
   opts.socket_path = config.server_socket;
+  opts.max_queue_depth = config.server_queue_limit;
 
   for (int i = 1; i < argc; ++i) {
     const auto need_value = [&](const char* flag) {

@@ -32,8 +32,18 @@ ReplayReport replay_patterns(const CombModel& capture_model, const FaultList& fa
   if (pending.empty()) return report;
 
   const std::size_t num_inputs = capture_model.input_nets().size();
+  // Transition claims are replayed over the same launch-on-capture frame
+  // pair the ATPG graded: the pattern is the launch frame, the capture
+  // frame holds the PIs and feeds pseudo-inputs from the launch frame's
+  // captured D values, the forced resimulation runs on the capture frame,
+  // and a claim only confirms in lanes where the site held the
+  // transition's initial value at launch.
+  const bool transition = !faults.faults.empty() &&
+                          faults.faults.front().model == FaultModel::kTransition;
   ParallelSim good(capture_model);
   std::vector<Word> input_words;
+  std::vector<Word> launch_values;
+  std::vector<Word> capture_inputs;
   // Forced resimulation is a full sweep per (fault, batch): super-batching
   // up to kMaxLaneWords x 64 patterns per sweep divides the sweep count by
   // the lane width. The confirmation for each claim is an OR over applied
@@ -70,14 +80,41 @@ ReplayReport replay_patterns(const CombModel& capture_model, const FaultList& fa
     }
     good.load_inputs(input_words);
     good.run();
+    if (transition) {
+      launch_values = good.values();  // V1 frame, net-major
+      capture_inputs = input_words;   // PIs held across both cycles
+      const std::size_t nff = capture_model.boundary_ffs().size();
+      const std::size_t snw = static_cast<std::size_t>(nw);
+      for (std::size_t i = 0; i < nff; ++i) {
+        const NetId d =
+            capture_model.observe_nets()[capture_model.num_po_observes() + i];
+        const Word* src = launch_values.data() + static_cast<std::size_t>(d) * snw;
+        for (std::size_t j = 0; j < snw; ++j) {
+          capture_inputs[(capture_model.num_pi_inputs() + i) * snw + j] = src[j];
+        }
+      }
+      good.load_inputs(capture_inputs);
+      good.run();
+    }
 
     std::size_t w = 0;
     for (const std::size_t fi : pending) {
-      const FaultTask task = resolve_fault_task(capture_model, faults.faults[fi]);
+      const Fault& fault = faults.faults[fi];
+      const FaultTask task = resolve_fault_task(capture_model, fault);
       Word detect[kMaxLaneWords];
       kernels.forced(capture_model, good.values().data(), faulty_scratch.data(), task, detect, nw);
       Word any = 0;
-      for (int j = 0; j < nw; ++j) any |= detect[j] & lane_mask(batch, j);
+      for (int j = 0; j < nw; ++j) {
+        Word d = detect[j] & lane_mask(batch, j);
+        if (transition) {
+          const Word launch =
+              launch_values[static_cast<std::size_t>(fault.net) *
+                                static_cast<std::size_t>(nw) +
+                            static_cast<std::size_t>(j)];
+          d &= fault.stuck1 ? launch : ~launch;
+        }
+        any |= d;
+      }
       if (any != 0) continue;  // confirmed
       pending[w++] = fi;
     }

@@ -1,9 +1,11 @@
 // Pattern-replay validation: independently confirm ATPG's detection claims.
 //
-// For every fault the ATPG marked kDetected, re-inject the stuck-at value
-// and replay the emitted pattern set with a plain full-sweep forced
-// resimulation — deliberately NOT the event-driven FaultSimulator, so a bug
-// in its cone limiting or event scheduling cannot hide itself. A claimed
+// For every fault the ATPG marked kDetected, re-inject the fault and replay
+// the emitted pattern set with a plain full-sweep forced resimulation —
+// deliberately NOT the event-driven FaultSimulator, so a bug in its cone
+// limiting or event scheduling cannot hide itself. Transition fault lists
+// are replayed over the same launch-on-capture frame pair the ATPG graded
+// (capture-frame forced resim, gated by the launch value at the site). A claimed
 // detection that never produces an observable difference across the whole
 // pattern set is a replay failure (and would mean the reported fault
 // coverage, and hence the paper's Table 1 FC/FE columns, overstate reality).

@@ -1,0 +1,133 @@
+// At-speed LBIST: transition-fault BIST sessions qualified against a
+// capture clock period (F_max from STA in the full flow). The defect-size
+// model makes qualification monotone in the period — at speed nearly every
+// site with positive arrival qualifies, at a slowed clock almost nothing
+// does — which is exactly the coverage gap the flow-level report exposes.
+#include "bist/lbist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../common/test_circuits.hpp"
+#include "circuits/generator.hpp"
+#include "flow/flow.hpp"
+#include "flow/flow_json.hpp"
+#include "flow/sweep.hpp"
+
+namespace tpi {
+namespace {
+
+using test::lib;
+
+TEST(AtSpeedLbistTest, QualificationFiltersByArrivalAndPeriod) {
+  auto nl = generate_circuit(lib(), test::tiny_profile(301));
+  CombModel model(*nl, SeqView::kCapture);
+  std::vector<double> arrival(nl->num_nets(), 500.0);
+
+  LbistOptions opts;
+  opts.max_patterns = 2048;
+  opts.fault_model = FaultModel::kTransition;
+  opts.fault_size_ps = 600.0;
+  opts.arrival_ps = &arrival;
+
+  // arrival + delta = 1100 ps: observable at T = 1000, swallowed at 2000.
+  opts.capture_period_ps = 1000.0;
+  const LbistResult fast = run_lbist(model, opts);
+  EXPECT_DOUBLE_EQ(fast.capture_period_ps, 1000.0);
+  EXPECT_GT(fast.qualified, 0);
+  EXPECT_LT(fast.qualified, fast.total_faults);  // scan-tested never re-qualify
+  EXPECT_GT(fast.detected, 0);
+
+  opts.capture_period_ps = 2000.0;
+  const LbistResult slow = run_lbist(model, opts);
+  EXPECT_EQ(slow.qualified, 0);
+  EXPECT_EQ(slow.detected, 0);
+  EXPECT_LT(slow.final_coverage_pct, fast.final_coverage_pct);
+
+  // No period -> no qualification: the whole universe stays eligible.
+  opts.capture_period_ps = 0.0;
+  const LbistResult all = run_lbist(model, opts);
+  EXPECT_EQ(all.qualified, all.total_faults);
+}
+
+TEST(AtSpeedLbistTest, GrossDefectDefaultQualifiesPositiveArrivalSites) {
+  // fault_size_ps <= 0 means "one full capture period": a site qualifies
+  // exactly when its arrival is positive, independent of the period.
+  auto nl = generate_circuit(lib(), test::tiny_profile(302));
+  CombModel model(*nl, SeqView::kCapture);
+  std::vector<double> arrival(nl->num_nets(), 0.0);
+  // Mark half the nets as having logic depth.
+  for (std::size_t n = 0; n < arrival.size(); n += 2) arrival[n] = 250.0;
+
+  LbistOptions opts;
+  opts.max_patterns = 1024;
+  opts.fault_model = FaultModel::kTransition;
+  opts.capture_period_ps = 1234.0;
+  opts.arrival_ps = &arrival;
+  const LbistResult r = run_lbist(model, opts);
+  EXPECT_GT(r.qualified, 0);
+  EXPECT_LT(r.qualified, r.total_faults);
+
+  std::int64_t expected = 0;
+  const FaultList fl = build_fault_list(model, FaultModel::kTransition);
+  for (const Fault& f : fl.faults) {
+    if (f.status == FaultStatus::kUndetected &&
+        arrival[static_cast<std::size_t>(f.net)] > 0.0) {
+      expected += f.equiv_count;
+    }
+  }
+  EXPECT_EQ(r.qualified, expected);
+}
+
+TEST(AtSpeedLbistTest, FlowReportWiresCapturePeriodFromSta) {
+  FlowOptions opts;
+  opts.tp_percent = 2.0;
+  opts.at_speed_lbist = true;
+  FlowEngine engine(lib(), test::tiny_profile(303), opts);
+  const FlowResult& res = engine.run(StageMask::all());
+
+  ASSERT_TRUE(res.sta.worst.valid);
+  ASSERT_TRUE(res.at_speed.ran);
+  // The at-speed capture clock IS the post-TPI F_max period.
+  EXPECT_DOUBLE_EQ(res.at_speed.capture_period_ps, res.sta.worst.t_cp_ps);
+  EXPECT_GT(res.at_speed.qualified_faults, 0);
+  EXPECT_GT(res.at_speed.total_faults, 0);
+  EXPECT_GT(res.at_speed.at_speed_coverage_pct, 0.0);
+  // The slowed session (kAtSpeedSlowFactor x t_cp) qualifies almost
+  // nothing, so running at speed is strictly better.
+  EXPECT_GT(res.at_speed.coverage_delta_pct(), 0.0);
+
+  const std::string json = flow_result_to_json(res);
+  EXPECT_NE(json.find("\"at_speed\""), std::string::npos);
+  EXPECT_NE(json.find("\"coverage_delta_pct\""), std::string::npos);
+}
+
+TEST(AtSpeedLbistTest, DefaultFlowJsonOmitsAtSpeedAndFaultModel) {
+  FlowOptions opts;
+  opts.tp_percent = 2.0;
+  FlowEngine engine(lib(), test::tiny_profile(303), opts);
+  const std::string json = flow_result_to_json(engine.run(StageMask::all()));
+  EXPECT_EQ(json.find("at_speed"), std::string::npos);
+  EXPECT_EQ(json.find("fault_model"), std::string::npos);
+}
+
+TEST(AtSpeedLbistTest, SweepJsonCarriesAtSpeedBlock) {
+  FlowOptions base;
+  base.tp_percent = 2.0;
+  base.at_speed_lbist = true;
+  const std::vector<SweepJob> jobs =
+      SweepRunner::grid({test::tiny_profile(304)}, {2.0}, base, StageMask::all());
+  SweepOptions sopts;
+  sopts.jobs = 1;
+  sopts.progress = false;
+  const SweepReport report = SweepRunner(sopts).run(lib(), jobs);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"at_speed\""), std::string::npos);
+  EXPECT_NE(json.find("\"coverage_delta_pct\""), std::string::npos);
+  EXPECT_NE(json.find("\"qualified_faults\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpi

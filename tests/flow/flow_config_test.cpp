@@ -210,6 +210,68 @@ TEST(FlowConfigTest, StagesParsing) {
   EXPECT_TRUE(cfg.options.verify);
 }
 
+TEST(FlowConfigTest, FaultModelAndAtSpeedKnobsParse) {
+  const FlowConfig base;
+  FlowConfig cfg;
+  std::string error;
+  ASSERT_TRUE(FlowConfig::from_json(
+      "{\"fault_model\": \"transition\", \"at_speed\": true, "
+      "\"server_queue_limit\": 8}",
+      base, cfg, &error))
+      << error;
+  EXPECT_EQ(cfg.options.atpg.fault_model, FaultModel::kTransition);
+  EXPECT_TRUE(cfg.options.at_speed_lbist);
+  EXPECT_EQ(cfg.server_queue_limit, 8);
+
+  ASSERT_TRUE(
+      FlowConfig::from_json("{\"fault_model\": \"stuck_at\"}", base, cfg, &error));
+  EXPECT_EQ(cfg.options.atpg.fault_model, FaultModel::kStuckAt);
+
+  EXPECT_FALSE(FlowConfig::from_json("{\"fault_model\": \"bridging\"}", base, cfg, &error));
+  EXPECT_FALSE(FlowConfig::from_json("{\"fault_model\": 1}", base, cfg, &error));
+  EXPECT_FALSE(FlowConfig::from_json("{\"at_speed\": \"yes\"}", base, cfg, &error));
+  EXPECT_FALSE(FlowConfig::from_json("{\"server_queue_limit\": -1}", base, cfg, &error));
+}
+
+TEST(FlowConfigTest, FaultModelKnobsRoundTripAndStayOffDefaultJson) {
+  FlowConfig cfg;
+  cfg.options.atpg.fault_model = FaultModel::kTransition;
+  cfg.options.at_speed_lbist = true;
+  cfg.server_queue_limit = 16;
+
+  FlowConfig back;
+  std::string error;
+  ASSERT_TRUE(FlowConfig::from_json(cfg.to_json(), FlowConfig{}, back, &error)) << error;
+  EXPECT_EQ(back.options.atpg.fault_model, FaultModel::kTransition);
+  EXPECT_TRUE(back.options.at_speed_lbist);
+  EXPECT_EQ(back.server_queue_limit, 16);
+
+  // Defaults serialise away entirely: pre-existing configs keep their
+  // serialised form, and with it their ledger config fingerprints.
+  const std::string quiet = FlowConfig{}.to_json();
+  EXPECT_EQ(quiet.find("fault_model"), std::string::npos);
+  EXPECT_EQ(quiet.find("at_speed"), std::string::npos);
+  EXPECT_EQ(quiet.find("server_queue_limit"), std::string::npos);
+}
+
+TEST(FlowConfigTest, FromEnvReadsFaultModelAndQueueLimit) {
+  {
+    const ScopedEnv e1("TPI_FAULT_MODEL", "transition");
+    const ScopedEnv e2("TPI_SERVER_QUEUE_LIMIT", "32");
+    const FlowConfig cfg = FlowConfig::from_env();
+    EXPECT_EQ(cfg.options.atpg.fault_model, FaultModel::kTransition);
+    EXPECT_EQ(cfg.server_queue_limit, 32);
+  }
+  {
+    // An unknown spelling keeps the base model instead of failing the run.
+    const ScopedEnv e1("TPI_FAULT_MODEL", "bridging");
+    FlowConfig base;
+    base.options.atpg.fault_model = FaultModel::kTransition;
+    const FlowConfig cfg = FlowConfig::from_env(base);
+    EXPECT_EQ(cfg.options.atpg.fault_model, FaultModel::kTransition);
+  }
+}
+
 TEST(FlowConfigTest, RejectsUnknownKeysAndBadTypes) {
   const FlowConfig base;
   FlowConfig cfg;

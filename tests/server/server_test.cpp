@@ -258,6 +258,47 @@ TEST(FlowServerTest, CancelQueuedJobNeverRuns) {
   for (const std::uint64_t id : gate.started()) EXPECT_NE(id, victim);
 }
 
+// Admission control: with max_queue_depth set, a submit that would push
+// the pool's backlog past the bound comes back immediately as a
+// structured "queue_full" error (with the observed depth and the limit)
+// instead of queueing unboundedly — and never creates a job.
+TEST(FlowServerTest, SubmitRejectedWhenQueueFull) {
+  StartGate gate;
+  FlowServerOptions opts;
+  opts.workers = 1;
+  opts.max_queue_depth = 1;
+  opts.on_job_start = gate.hook();
+  FlowServer server(tiny_base(), opts);
+
+  // The blocker occupies the single worker; one more job fills the queue.
+  const std::uint64_t blocker = submit(server, "{\"tp_percent\": 0.0}");
+  gate.wait_first_started();
+  const std::uint64_t queued = submit(server, "{\"tp_percent\": 0.0}");
+
+  const JsonValue resp = parse_response(server.handle_request(
+      "{\"id\": 7, \"method\": \"submit\", \"params\": {\"tp_percent\": 0.0}}"));
+  const JsonValue* err = resp.find("error");
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->as_string(), "queue_full");
+  EXPECT_EQ(resp.find("queue_depth")->as_number(), 1.0);
+  EXPECT_EQ(resp.find("queue_limit")->as_number(), 1.0);
+
+  gate.release();
+  EXPECT_EQ(wait_result(server, blocker).find("state")->as_string(), "done");
+  EXPECT_EQ(wait_result(server, queued).find("state")->as_string(), "done");
+
+  // The rejected submit never became a job (and is counted as a rejection,
+  // not a submission); once the queue drained, submits are accepted again.
+  const JsonValue stats = rpc_result(server, "{\"id\": 8, \"method\": \"stats\"}");
+  EXPECT_EQ(stats.find("jobs")->find("submitted")->as_number(), 2.0);
+  const MetricsSnapshot snap = server.metrics_snapshot();
+  const MetricValue* rejected = snap.find("server.jobs_rejected");
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_EQ(rejected->count, 1u);
+  const std::uint64_t after = submit(server, "{\"tp_percent\": 0.0}");
+  EXPECT_EQ(wait_result(server, after).find("state")->as_string(), "done");
+}
+
 // The engine-level cancellation contract the cancel RPC builds on: a token
 // flipped mid-run stops the flow at the next stage boundary, keeping
 // finished stages' results.

@@ -84,7 +84,19 @@ def flatten_metrics(obj, prefix=""):
 
 
 def compare_ledger(path, threshold, last):
-    entries = load_ledger(path)
+    # A missing or empty ledger is a normal state (no runs recorded yet),
+    # not an error: report it and succeed so CI hooks can run
+    # unconditionally.
+    try:
+        entries = load_ledger(path)
+    except OSError as e:
+        print(f"ledger: cannot read {path}: {e.strerror or e}; "
+              "nothing to compare", file=sys.stderr)
+        return 0
+    if not entries:
+        print(f"ledger: {path} has no entries; nothing to compare",
+              file=sys.stderr)
+        return 0
     by_label = {}
     for e in entries:
         by_label.setdefault(e.get("label", ""), []).append(e)
