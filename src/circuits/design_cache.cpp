@@ -1,4 +1,4 @@
-#include "server/design_cache.hpp"
+#include "circuits/design_cache.hpp"
 
 #include <cstdio>
 

@@ -1,5 +1,9 @@
-// Keyed LRU cache of generated circuits and their warm DesignDB views for
-// the flow server.
+// Keyed LRU cache of generated circuits and their warm DesignDB views,
+// shared by the flow server (one cache per daemon) and the SOC composer
+// (one cache per chip, so N embedded cores instantiating the same profile
+// generate it once). Moved here from src/server in PR 10 — the cache only
+// depends on the generator and the design database, not on the RPC front
+// end.
 //
 // Generating a paper-sized circuit and building its capture-view
 // topo/comb/testability is the dominant fixed cost of a flow request; two

@@ -77,7 +77,46 @@ std::optional<long> int_from_json(const JsonValue& v, long lo, long hi) {
   return l;
 }
 
+// SOC limits: a chip of up to 4096 embedded cores on a TAM of up to 1024
+// bits covers anything the scheduler can usefully pack.
+constexpr long kMaxSocCores = 4096;
+constexpr long kMaxTamWidth = 1024;
+
+// Strict "soc" block parser: every key must be known and well-typed, so a
+// misspelled knob surfaces as a structured error instead of a silently
+// ignored field (the soc block gates whether a job is a chip at all).
+bool soc_from_json(const JsonValue& v, SocKnobs& out, std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error) *error = "config: \"soc\": " + msg;
+    return false;
+  };
+  if (!v.is_object()) return fail("expected an object");
+  for (const auto& [key, e] : v.as_object()) {
+    if (key == "cores") {
+      const std::optional<long> n = int_from_json(e, 0, kMaxSocCores);
+      if (!n) return fail("\"cores\": expected a core count in [0, 4096]");
+      out.cores = static_cast<int>(*n);
+    } else if (key == "tam_width") {
+      const std::optional<long> w = int_from_json(e, 1, kMaxTamWidth);
+      if (!w) return fail("\"tam_width\": expected a TAM width in [1, 1024]");
+      out.tam_width = static_cast<int>(*w);
+    } else if (key == "schedule") {
+      if (!e.is_string() || !valid_soc_schedule_name(e.as_string())) {
+        return fail("\"schedule\": expected \"diagonal\" or \"serial\"");
+      }
+      out.schedule = e.as_string();
+    } else {
+      return fail("unknown key \"" + key + "\"");
+    }
+  }
+  return true;
+}
+
 }  // namespace
+
+bool valid_soc_schedule_name(std::string_view name) {
+  return name == "diagonal" || name == "serial";
+}
 
 const char* tpi_method_name(TpiMethod method) {
   switch (method) {
@@ -148,6 +187,17 @@ FlowConfig FlowConfig::from_env(const FlowConfig& base) {
     } else {
       log_warn() << "config: invalid TPI_SIMD=\"" << *v
                  << "\" (want auto|scalar|avx2|avx512)";
+    }
+  }
+  cfg.soc.cores = static_cast<int>(env_int("TPI_SOC_CORES", base.soc.cores, 0, kMaxSocCores));
+  cfg.soc.tam_width =
+      static_cast<int>(env_int("TPI_SOC_TAM_WIDTH", base.soc.tam_width, 1, kMaxTamWidth));
+  if (const std::optional<std::string> v = env_string("TPI_SOC_SCHEDULE")) {
+    if (valid_soc_schedule_name(*v)) {
+      cfg.soc.schedule = *v;
+    } else {
+      log_warn() << "config: invalid TPI_SOC_SCHEDULE=\"" << *v
+                 << "\" (want diagonal|serial)";
     }
   }
   return cfg;
@@ -274,6 +324,8 @@ bool FlowConfig::from_json(std::string_view text, const FlowConfig& base, FlowCo
         return type_error("\"auto\", \"scalar\", \"avx2\" or \"avx512\"");
       }
       cfg.simd = v.as_string();
+    } else if (key == "soc") {
+      if (!soc_from_json(v, cfg.soc, error)) return false;
     } else {
       if (error) *error = "config: unknown key \"" + key + "\"";
       return false;
@@ -331,6 +383,16 @@ std::string FlowConfig::to_json() const {
     o.set("server_cache_mb", server_cache_mb);
   }
   if (simd != defaults.simd) o.set("simd", simd);
+  // SOC mode is opt-in: a single-core config (cores == 0) serialises with
+  // no "soc" key at all, whatever the other soc fields hold, so existing
+  // configs and their ledger fingerprints are untouched.
+  if (soc.cores > 0) {
+    JsonValue s{JsonObject{}};
+    s.set("cores", soc.cores);
+    s.set("tam_width", soc.tam_width);
+    s.set("schedule", soc.schedule);
+    o.set("soc", std::move(s));
+  }
   return o.serialise();
 }
 

@@ -11,7 +11,8 @@
 //     TPI_BENCH_JSON / TPI_TRACE / TPI_TRACE_DIR / TPI_LEDGER /
 //     TPI_LOG_LEVEL (+ TPI_BENCH_VERBOSE alias) / TPI_FUZZ_SEED /
 //     TPI_FUZZ_ITERS / TPI_SERVER_SOCKET / TPI_SERVER_CACHE_MB /
-//     TPI_SERVER_QUEUE_LIMIT / TPI_SIMD are parsed and validated;
+//     TPI_SERVER_QUEUE_LIMIT / TPI_SIMD / TPI_SOC_CORES /
+//     TPI_SOC_TAM_WIDTH / TPI_SOC_SCHEDULE are parsed and validated;
 //   * from JSON             — FlowConfig::from_json(), used by the flow
 //     server's submit RPC and config files.
 //
@@ -40,9 +41,36 @@
 
 namespace tpi {
 
+/// SOC-mode knobs (DESIGN.md §16). With `cores` == 0 (the default) a
+/// config describes the classic single-core flow and none of these fields
+/// appears in to_json() — existing configs, ledger fingerprints and sweep
+/// JSON stay byte-identical. With `cores` > 0 the job is a chip: `cores`
+/// embedded cores composed from the paper profile set, each wrapped and
+/// serialised onto a `tam_width`-bit Test Access Mechanism, with per-core
+/// tests scheduled by the `schedule` packer (src/soc). The typed SOC
+/// runner options live in soc/soc.hpp; this struct is only the
+/// env/JSON-facing surface, kept here so the flow layer stays below soc.
+struct SocKnobs {
+  /// Embedded core count; 0 = SOC mode off (TPI_SOC_CORES).
+  int cores = 0;
+  /// Chip-level TAM width in bits, >= 1 (TPI_SOC_TAM_WIDTH).
+  int tam_width = 32;
+  /// Test scheduler: "diagonal" (Islam et al. rectangle bin packing by
+  /// descending diagonal length) or "serial" (one core after another at
+  /// full TAM width — the no-packing baseline). TPI_SOC_SCHEDULE.
+  std::string schedule = "diagonal";
+
+  bool operator==(const SocKnobs&) const = default;
+};
+
+/// True for the schedule spellings SocKnobs accepts.
+bool valid_soc_schedule_name(std::string_view name);
+
 struct FlowConfig {
   // ---- per-job flow definition ----
   /// Named circuit profile: "s38417", "circuit1", "p26909" (paper_profiles).
+  /// Ignored in SOC mode (soc.cores > 0), where the chip composes cores
+  /// from the whole paper set.
   std::string profile = "s38417";
   /// Uniform profile scale factor (TPI_BENCH_SCALE); 1.0 = paper-sized.
   double scale = 1.0;
@@ -60,6 +88,10 @@ struct FlowConfig {
   /// TraceSink (retrievable via the server's `trace` RPC) even when no
   /// trace_dir is set ("record_trace" JSON key).
   bool record_trace = false;
+  /// SOC workload knobs ("soc" JSON object / TPI_SOC_* env); soc.cores == 0
+  /// keeps the classic single-core flow and all of its outputs byte-
+  /// identical.
+  SocKnobs soc;
 
   // ---- process-wide settings ----
   /// Sweep/server worker threads (TPI_BENCH_JOBS; <= 0 = hardware).
@@ -109,9 +141,11 @@ struct FlowConfig {
   /// "timing_exclude_slack_ps", "priority", "record_trace", "bench_jobs",
   /// "bench_json", "trace", "trace_dir", "ledger", "log_level",
   /// "fuzz_seed", "fuzz_iters", "server_socket", "server_cache_mb",
-  /// "server_queue_limit", "simd".
-  /// Unknown keys or type mismatches fail with a message in *error
-  /// (when non-null) and return false, leaving `out` untouched.
+  /// "server_queue_limit", "simd", "soc" (a nested object with "cores",
+  /// "tam_width", "schedule").
+  /// Unknown keys — top-level or inside "soc" — and type mismatches fail
+  /// with a structured message in *error (when non-null) and return false,
+  /// leaving `out` untouched.
   static bool from_json(std::string_view text, const FlowConfig& base, FlowConfig& out,
                         std::string* error = nullptr);
 

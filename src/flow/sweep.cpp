@@ -21,15 +21,6 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-// "s38417/tp=2" -> "s38417_tp=2": cell labels become trace file names.
-std::string sanitize_label(const std::string& label) {
-  std::string out = label;
-  for (char& c : out) {
-    if (c == '/' || c == '\\' || c == ' ') c = '_';
-  }
-  return out;
-}
-
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
@@ -83,6 +74,27 @@ std::string atpg_profile_json(const AtpgKernelProfile& p) {
 }
 
 }  // namespace
+
+std::string sanitize_trace_label(const std::string& label) {
+  auto safe = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '.' || c == '=' || c == '-';
+  };
+  std::string out;
+  out.reserve(label.size());
+  for (const char c : label) {
+    if (safe(c)) {
+      out += c;
+    } else {
+      static const char kHex[] = "0123456789abcdef";
+      const auto b = static_cast<unsigned char>(c);
+      out += '_';
+      out += kHex[b >> 4];
+      out += kHex[b & 0xF];
+    }
+  }
+  return out;
+}
 
 std::string SweepReport::to_json() const {
   std::string out = "{\n  \"context\": {\n";
@@ -236,7 +248,7 @@ SweepReport SweepRunner::run(const CellLibrary& lib, std::vector<SweepJob> jobs)
           engine.run(job.stages);
         }
         if (sink != nullptr) {
-          sink->write_json(trace_dir + "/" + sanitize_label(job.label) +
+          sink->write_json(trace_dir + "/" + sanitize_trace_label(job.label) +
                            ".trace.json");
         }
         return CellOut{engine.result(), ms_since(t0)};

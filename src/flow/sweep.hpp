@@ -22,6 +22,14 @@ namespace tpi {
 
 struct FlowConfig;  // flow_config.hpp
 
+/// Collision-free file-name form of a job label: `[A-Za-z0-9.=-]` bytes
+/// pass through, every other byte becomes `_` + two lowercase hex digits
+/// ("s38417/tp=2" -> "s38417_2ftp=2"). Because `_` itself is escaped
+/// ("_5f"), the mapping is injective — two distinct labels can never land
+/// in the same trace file, which the old '/'-to-'_' mapping allowed
+/// ("s38417/tp=2" vs "s38417_tp=2").
+std::string sanitize_trace_label(const std::string& label);
+
 /// One grid cell: a full flow run of `profile` with `options`
 /// (tp_percent and seeds live inside `options`), restricted to `stages`.
 struct SweepJob {
@@ -41,7 +49,7 @@ struct SweepOptions {
   FlowObserver* observer = nullptr;
   /// Per-cell flight recorder directory (TPI_TRACE_DIR / FlowConfig
   /// trace_dir): each cell's spans go to its own TraceSink and are written
-  /// as <trace_dir>/<label>.trace.json ('/' in labels becomes '_'), so
+  /// as <trace_dir>/<sanitize_trace_label(label)>.trace.json, so
   /// concurrent cells never interleave in one trace. Empty = off.
   std::string trace_dir;
   /// Run-ledger JSONL path (TPI_LEDGER / FlowConfig ledger): every cell's

@@ -12,6 +12,7 @@
 #include <optional>
 #include <utility>
 
+#include "soc/soc.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
 
@@ -20,11 +21,16 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-// "s38417/tp=2" — the label used for the trace process row and the
-// ledger line, matching SweepRunner::grid's convention.
+// "s38417/tp=2" (single-core) or "soc=8/tam=32/tp=2" (SOC job) — the
+// label used for the trace process row and the ledger line, matching the
+// SweepRunner / SocSweepRunner grid conventions.
 std::string job_label(const FlowConfig& cfg) {
   char pct[32];
   std::snprintf(pct, sizeof pct, "%g", cfg.options.tp_percent);
+  if (cfg.soc.cores > 0) {
+    return "soc=" + std::to_string(cfg.soc.cores) +
+           "/tam=" + std::to_string(cfg.soc.tam_width) + "/tp=" + pct;
+  }
   return cfg.profile + "/tp=" + pct;
 }
 
@@ -110,31 +116,55 @@ void FlowServer::run_job(const std::shared_ptr<Job>& job) {
   std::string error;
   bool cancelled = false;
   try {
-    CircuitProfile profile;
-    std::string perr;
-    if (!job->config.resolve_profile(profile, &perr)) throw std::invalid_argument(perr);
-    const std::shared_ptr<DesignCache::Entry> entry = cache_->acquire(profile);
-    Netlist nl = entry->netlist();  // private copy; the journal survives
-    FlowEngine engine(nl, profile, job->config.options);
-    engine.design_db().adopt_views_from(entry->db());
-    engine.set_cancel_token(&job->cancel);
-    {
-      std::optional<ScopedTraceSink> scope;
-      if (sink != nullptr) scope.emplace(*sink);
-      engine.run(job->config.stages);
-    }
-    const FlowResult& res = engine.result();
-    cancelled = res.cancelled;
-    flow_json = flow_result_to_json(res);
-    for (const Stage s : kAllStages) {
-      if (!engine.stage_ran(s)) continue;
-      metrics_.observe(std::string("server.stage_ms.") + stage_name(s),
-                       res.timings[s]);
-    }
-    if (!cancelled && ledger_ != nullptr) {
-      const JsonParseResult cfg = json_parse(job->config.to_json());
-      ledger_->append(label, cfg.ok ? cfg.value : JsonValue(JsonObject{}),
-                      flow_result_to_json_value(res));
+    if (job->config.soc.cores > 0) {
+      // SOC job: per-core flows on a private pool (this thread is itself a
+      // pool worker and the pool has no work stealing, so nesting core
+      // tasks onto pool_ could deadlock); the daemon's design cache is
+      // shared, so repeated chips hit warm cores.
+      SocRunner runner(job->config);
+      SocResult res;
+      {
+        std::optional<ScopedTraceSink> scope;
+        if (sink != nullptr) scope.emplace(*sink);
+        res = runner.run(*lib_, nullptr, cache_.get(), &job->cancel);
+      }
+      cancelled = res.cancelled;
+      flow_json = soc_result_to_json(res);
+      metrics_.observe("server.soc.chip_tat_cycles",
+                       static_cast<double>(res.chip_tat_cycles));
+      if (!cancelled) metrics_.add("server.soc.jobs_done");
+      if (!cancelled && ledger_ != nullptr) {
+        const JsonParseResult cfg = json_parse(job->config.to_json());
+        ledger_->append(label, cfg.ok ? cfg.value : JsonValue(JsonObject{}),
+                        soc_result_to_json_value(res));
+      }
+    } else {
+      CircuitProfile profile;
+      std::string perr;
+      if (!job->config.resolve_profile(profile, &perr)) throw std::invalid_argument(perr);
+      const std::shared_ptr<DesignCache::Entry> entry = cache_->acquire(profile);
+      Netlist nl = entry->netlist();  // private copy; the journal survives
+      FlowEngine engine(nl, profile, job->config.options);
+      engine.design_db().adopt_views_from(entry->db());
+      engine.set_cancel_token(&job->cancel);
+      {
+        std::optional<ScopedTraceSink> scope;
+        if (sink != nullptr) scope.emplace(*sink);
+        engine.run(job->config.stages);
+      }
+      const FlowResult& res = engine.result();
+      cancelled = res.cancelled;
+      flow_json = flow_result_to_json(res);
+      for (const Stage s : kAllStages) {
+        if (!engine.stage_ran(s)) continue;
+        metrics_.observe(std::string("server.stage_ms.") + stage_name(s),
+                         res.timings[s]);
+      }
+      if (!cancelled && ledger_ != nullptr) {
+        const JsonParseResult cfg = json_parse(job->config.to_json());
+        ledger_->append(label, cfg.ok ? cfg.value : JsonValue(JsonObject{}),
+                        flow_result_to_json_value(res));
+      }
     }
   } catch (const std::exception& e) {
     error = e.what();
@@ -215,8 +245,12 @@ std::string FlowServer::handle_request(const std::string& line) {
     FlowConfig cfg;
     std::string err;
     if (!FlowConfig::from_json(params_text, base_, cfg, &err)) return fail(err);
-    CircuitProfile profile;
-    if (!cfg.resolve_profile(profile, &err)) return fail(err);
+    // SOC jobs compose cores from the whole paper set; the "profile" key
+    // is ignored for them, so only single-core submissions vet it here.
+    if (cfg.soc.cores == 0) {
+      CircuitProfile profile;
+      if (!cfg.resolve_profile(profile, &err)) return fail(err);
+    }
 
     // Admission control: reject instead of queueing when the pool backlog
     // is at the limit. The depth is advisory (another submit may race in),

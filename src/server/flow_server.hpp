@@ -55,7 +55,7 @@
 #include "flow/flow.hpp"
 #include "flow/flow_config.hpp"
 #include "flow/flow_json.hpp"  // flow_result_to_json (moved in PR 8)
-#include "server/design_cache.hpp"
+#include "circuits/design_cache.hpp"
 #include "util/ledger.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"

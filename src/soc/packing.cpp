@@ -1,0 +1,167 @@
+#include "soc/packing.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tpi {
+namespace {
+
+/// Core i's candidates restricted to widths <= tam_width; the narrowest
+/// candidate (width clamped) when none fits, so every core schedules.
+std::vector<WrapperDesign> usable(const std::vector<WrapperDesign>& cands, int tam_width) {
+  std::vector<WrapperDesign> out;
+  for (const WrapperDesign& d : cands) {
+    if (d.width <= tam_width) out.push_back(d);
+  }
+  if (out.empty() && !cands.empty()) {
+    WrapperDesign d = cands.front();
+    d.width = tam_width;
+    out.push_back(d);
+  }
+  return out;
+}
+
+/// The core's preferred rectangle: minimal test-bandwidth area w * T(w),
+/// smaller width on ties (a 1-D proxy for "how much of the strip this
+/// core inherently needs", the diagonal normaliser of Islam et al.).
+const WrapperDesign& preferred(const std::vector<WrapperDesign>& cands) {
+  const WrapperDesign* best = &cands.front();
+  for (const WrapperDesign& d : cands) {
+    const std::int64_t area = static_cast<std::int64_t>(d.width) * d.test_cycles;
+    const std::int64_t best_area = static_cast<std::int64_t>(best->width) * best->test_cycles;
+    if (area < best_area || (area == best_area && d.width < best->width)) best = &d;
+  }
+  return *best;
+}
+
+}  // namespace
+
+const char* soc_schedule_name(SocScheduleMethod method) {
+  return method == SocScheduleMethod::kSerial ? "serial" : "diagonal";
+}
+
+std::optional<SocScheduleMethod> soc_schedule_from_name(std::string_view name) {
+  if (name == "diagonal") return SocScheduleMethod::kDiagonal;
+  if (name == "serial") return SocScheduleMethod::kSerial;
+  return std::nullopt;
+}
+
+SocSchedule schedule_tests(const std::vector<std::vector<WrapperDesign>>& candidates,
+                           int tam_width, SocScheduleMethod method) {
+  SocSchedule sched;
+  sched.tam_width = std::max(tam_width, 1);
+  const int W = sched.tam_width;
+  const int n = static_cast<int>(candidates.size());
+  sched.rects.resize(static_cast<std::size_t>(n));
+
+  std::vector<std::vector<WrapperDesign>> cands;
+  cands.reserve(static_cast<std::size_t>(n));
+  for (const auto& c : candidates) cands.push_back(usable(c, W));
+
+  if (method == SocScheduleMethod::kSerial) {
+    // Baseline: every core alone on the full TAM, one after another.
+    std::int64_t t = 0;
+    for (int i = 0; i < n; ++i) {
+      if (cands[static_cast<std::size_t>(i)].empty()) continue;
+      const WrapperDesign& d = cands[static_cast<std::size_t>(i)].back();  // widest kept
+      ScheduledRect& r = sched.rects[static_cast<std::size_t>(i)];
+      r.core = i;
+      r.tam_start = 0;
+      r.width = d.width;
+      r.start = t;
+      r.finish = t + d.test_cycles;
+      t = r.finish;
+    }
+    sched.makespan = t;
+  } else {
+    // Diagonal-length heuristic: order cores by descending normalised
+    // diagonal of their preferred rectangle, then best-fit place each.
+    std::int64_t t_max = 1;
+    for (int i = 0; i < n; ++i) {
+      if (cands[static_cast<std::size_t>(i)].empty()) continue;
+      t_max = std::max(t_max, preferred(cands[static_cast<std::size_t>(i)]).test_cycles);
+    }
+    std::vector<int> order;
+    for (int i = 0; i < n; ++i) {
+      if (!cands[static_cast<std::size_t>(i)].empty()) order.push_back(i);
+    }
+    std::vector<double> diag2(static_cast<std::size_t>(n), 0.0);
+    for (const int i : order) {
+      const WrapperDesign& d = preferred(cands[static_cast<std::size_t>(i)]);
+      const double wn = static_cast<double>(d.width) / static_cast<double>(W);
+      const double tn =
+          static_cast<double>(d.test_cycles) / static_cast<double>(t_max);
+      diag2[static_cast<std::size_t>(i)] = wn * wn + tn * tn;
+    }
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const double da = diag2[static_cast<std::size_t>(a)];
+      const double db = diag2[static_cast<std::size_t>(b)];
+      if (da != db) return da > db;
+      return a < b;  // deterministic tie-break
+    });
+
+    // free[line] = first cycle TAM line `line` becomes idle.
+    std::vector<std::int64_t> free_at(static_cast<std::size_t>(W), 0);
+    for (const int i : order) {
+      bool placed = false;
+      WrapperDesign best_d{};
+      std::int64_t best_start = 0, best_finish = 0;
+      int best_line = 0;
+      for (const WrapperDesign& d : cands[static_cast<std::size_t>(i)]) {
+        const int w = std::min(d.width, W);
+        // Earliest-start window of height w: start = max(free) over the
+        // window; lowest start wins, then lowest line index.
+        std::int64_t win_start = 0;
+        int win_line = 0;
+        bool have = false;
+        for (int a = 0; a + w <= W; ++a) {
+          std::int64_t s = 0;
+          for (int k = 0; k < w; ++k) {
+            s = std::max(s, free_at[static_cast<std::size_t>(a + k)]);
+          }
+          if (!have || s < win_start) {
+            have = true;
+            win_start = s;
+            win_line = a;
+          }
+        }
+        const std::int64_t finish = win_start + d.test_cycles;
+        if (!placed || finish < best_finish ||
+            (finish == best_finish &&
+             (w < best_d.width || (w == best_d.width && win_start < best_start)))) {
+          placed = true;
+          best_d = d;
+          best_d.width = w;
+          best_start = win_start;
+          best_finish = finish;
+          best_line = win_line;
+        }
+      }
+      if (!placed) continue;
+      ScheduledRect& r = sched.rects[static_cast<std::size_t>(i)];
+      r.core = i;
+      r.tam_start = best_line;
+      r.width = best_d.width;
+      r.start = best_start;
+      r.finish = best_finish;
+      for (int k = 0; k < best_d.width; ++k) {
+        free_at[static_cast<std::size_t>(best_line + k)] = best_finish;
+      }
+    }
+    for (const std::int64_t f : free_at) sched.makespan = std::max(sched.makespan, f);
+  }
+
+  if (sched.makespan > 0) {
+    double occupied = 0.0;
+    for (const ScheduledRect& r : sched.rects) {
+      occupied += static_cast<double>(r.width) *
+                  static_cast<double>(r.finish - r.start);
+    }
+    sched.utilization_pct =
+        100.0 * occupied /
+        (static_cast<double>(W) * static_cast<double>(sched.makespan));
+  }
+  return sched;
+}
+
+}  // namespace tpi

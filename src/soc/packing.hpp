@@ -1,0 +1,62 @@
+// Chip-level test scheduling as rectangle bin packing (DESIGN.md §16).
+//
+// Every wrapped core contributes a family of rectangles — one per Pareto
+// wrapper width w, of height w TAM lines and length T(w) test cycles
+// (wrapper.hpp). Scheduling the chip test is packing one rectangle per
+// core into a strip of fixed height `tam_width`, minimising the strip
+// length (the chip test application time). The "diagonal" method is the
+// diagonal-length heuristic of Islam et al.: cores are placed in
+// descending order of normalised rectangle diagonal
+//
+//   diag(core)^2 = (w*/W)^2 + (T(w*)/T_max)^2
+//
+// (w* = the core's area-minimal preferred width), big awkward rectangles
+// first; each placement tries every candidate width and every TAM window
+// and commits the one finishing earliest. The "serial" method is the
+// no-packing baseline: every core one after another over the full TAM.
+//
+// The packer is plain serial code over integer cycle counts — its output
+// is a pure function of the candidate lists, so chip-level TAT is
+// bit-identical at any job count and SIMD backend by construction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "soc/wrapper.hpp"
+
+namespace tpi {
+
+enum class SocScheduleMethod { kDiagonal, kSerial };
+
+/// "diagonal" / "serial" (the SocKnobs::schedule spellings).
+const char* soc_schedule_name(SocScheduleMethod method);
+std::optional<SocScheduleMethod> soc_schedule_from_name(std::string_view name);
+
+/// One core's committed slot in the chip schedule.
+struct ScheduledRect {
+  int core = 0;               ///< index into the candidate list
+  int tam_start = 0;          ///< first TAM line, in [0, tam_width - width]
+  int width = 1;              ///< TAM lines used (chosen candidate width)
+  std::int64_t start = 0;     ///< first test cycle
+  std::int64_t finish = 0;    ///< start + T(width)
+};
+
+struct SocSchedule {
+  std::vector<ScheduledRect> rects;  ///< in core order
+  int tam_width = 0;
+  std::int64_t makespan = 0;         ///< chip test application time, cycles
+  /// Occupied fraction of the tam_width x makespan strip, in percent.
+  double utilization_pct = 0.0;
+};
+
+/// Pack one rectangle per core into a `tam_width`-line strip.
+/// `candidates[i]` is core i's Pareto wrapper set (pareto_wrappers);
+/// widths above tam_width are ignored, and a core whose candidates are all
+/// too wide falls back to its narrowest one clamped to tam_width.
+SocSchedule schedule_tests(const std::vector<std::vector<WrapperDesign>>& candidates,
+                           int tam_width, SocScheduleMethod method);
+
+}  // namespace tpi

@@ -1,0 +1,107 @@
+#include "soc/wrapper.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace tpi {
+namespace {
+
+/// Min-heap key for LPT balancing: smallest load first, lowest wrapper
+/// chain index on ties — the deterministic tie-break the bit-identity
+/// tests rely on.
+struct Bin {
+  std::int64_t load = 0;
+  int index = 0;
+  bool operator>(const Bin& o) const {
+    if (load != o.load) return load > o.load;
+    return index > o.index;
+  }
+};
+using BinHeap = std::priority_queue<Bin, std::vector<Bin>, std::greater<Bin>>;
+
+}  // namespace
+
+CoreTestEnvelope core_envelope(std::string label, const CircuitProfile& profile,
+                               const FlowResult& result) {
+  CoreTestEnvelope env;
+  env.label = std::move(label);
+  env.scan_ffs = result.num_ffs;
+  env.chains = std::max(result.num_chains, result.num_ffs > 0 ? 1 : 0);
+  env.inputs = profile.num_pis;
+  env.outputs = profile.num_pos;
+  env.patterns = result.saf_patterns;
+  env.capture_cycles = result.atpg.fault_model == FaultModel::kTransition ? 2 : 1;
+  return env;
+}
+
+WrapperDesign design_wrapper(const CoreTestEnvelope& core, int width) {
+  WrapperDesign d;
+  d.width = std::max(width, 1);
+
+  // Internal chain lengths: the scan stitcher balances FFs over
+  // `core.chains` chains, so reconstruct that split (longest first for LPT).
+  std::vector<std::int64_t> internal;
+  if (core.chains > 0 && core.scan_ffs > 0) {
+    internal.reserve(static_cast<std::size_t>(core.chains));
+    const std::int64_t base = core.scan_ffs / core.chains;
+    const std::int64_t extra = core.scan_ffs % core.chains;
+    for (int k = 0; k < core.chains; ++k) {
+      internal.push_back(base + (k < extra ? 1 : 0));
+    }
+    std::sort(internal.begin(), internal.end(), std::greater<>());
+  }
+
+  // LPT: longest internal chain onto the least-loaded wrapper chain.
+  std::vector<std::int64_t> load(static_cast<std::size_t>(d.width), 0);
+  {
+    BinHeap heap;
+    for (int k = 0; k < d.width; ++k) heap.push({0, k});
+    for (const std::int64_t len : internal) {
+      Bin b = heap.top();
+      heap.pop();
+      b.load += len;
+      load[static_cast<std::size_t>(b.index)] = b.load;
+      heap.push(b);
+    }
+  }
+
+  // Input wrapper cells prepend to the scan-in path, output cells append
+  // to the scan-out path; spread each kind one cell at a time onto the
+  // currently shortest side.
+  auto spread = [&](int cells) {
+    std::vector<std::int64_t> side = load;
+    BinHeap heap;
+    for (int k = 0; k < d.width; ++k) heap.push({side[static_cast<std::size_t>(k)], k});
+    for (int c = 0; c < cells; ++c) {
+      Bin b = heap.top();
+      heap.pop();
+      b.load += 1;
+      side[static_cast<std::size_t>(b.index)] = b.load;
+      heap.push(b);
+    }
+    return *std::max_element(side.begin(), side.end());
+  };
+  d.scan_in = spread(core.inputs);
+  d.scan_out = spread(core.outputs);
+
+  const std::int64_t longest = std::max(d.scan_in, d.scan_out);
+  const std::int64_t shortest = std::min(d.scan_in, d.scan_out);
+  const std::int64_t p = core.patterns;
+  d.test_cycles = (core.capture_cycles + longest) * p + shortest;
+  return d;
+}
+
+std::vector<WrapperDesign> pareto_wrappers(const CoreTestEnvelope& core, int max_width) {
+  std::vector<WrapperDesign> out;
+  std::int64_t best = -1;
+  for (int w = 1; w <= std::max(max_width, 1); ++w) {
+    WrapperDesign d = design_wrapper(core, w);
+    if (best < 0 || d.test_cycles < best) {
+      best = d.test_cycles;
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+}  // namespace tpi

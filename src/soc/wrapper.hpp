@@ -1,0 +1,73 @@
+// Per-core test wrappers: serialise an embedded core's test onto a
+// configurable slice of the chip-level Test Access Mechanism (TAM).
+//
+// An SOC job (DESIGN.md §16) runs the full single-core flow once per
+// embedded core and then has to deliver every core's pattern set through
+// the chip pins. The IEEE 1500-style wrapper model used here follows
+// Iyengar/Chakrabarty wrapper-chain balancing: a core tested over `w` TAM
+// lines forms `w` wrapper scan chains, each the concatenation
+// [input wrapper cells][internal scan chains][output wrapper cells]. With
+//
+//   s_i = longest scan-IN  path  = max_k (inputs_k + internal_k)
+//   s_o = longest scan-OUT path  = max_k (internal_k + outputs_k)
+//
+// the core's test time at width w is the repo-wide TAT generalisation
+// (l + c)·p + l applied to the wrapper:
+//
+//   T(w) = (c + max(s_i, s_o)) · p + min(s_i, s_o)
+//
+// where p is the core's real post-TPI compact pattern count and c the
+// capture cycles (1 stuck-at, 2 transition LOC). Chains are balanced with
+// the LPT heuristic (longest internal chain into the currently shortest
+// wrapper chain; IO cells one at a time onto the shortest side), fully
+// deterministic: ties break on the lowest wrapper-chain index.
+//
+// pareto_wrappers() evaluates T(w) for w = 1..max_width and keeps only the
+// widths that strictly improve test time — the rectangle candidates the
+// packer in packing.hpp chooses from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuits/profiles.hpp"
+#include "flow/flow.hpp"
+
+namespace tpi {
+
+/// Everything the wrapper/TAM layer needs to know about one finished core
+/// flow: the scan structure and the real post-TPI pattern count.
+struct CoreTestEnvelope {
+  std::string label;      ///< e.g. "core0:s38417"
+  int scan_ffs = 0;       ///< internal scan flip-flops (FlowResult::num_ffs)
+  int chains = 0;         ///< internal scan chains (FlowResult::num_chains)
+  int inputs = 0;         ///< functional PIs needing input wrapper cells
+  int outputs = 0;        ///< functional POs needing output wrapper cells
+  int patterns = 0;       ///< post-TPI compact pattern count (saf_patterns)
+  int capture_cycles = 1; ///< 1 stuck-at, 2 transition LOC
+};
+
+/// Envelope of a finished flow run: scan counts and pattern count from the
+/// result, IO widths from the profile, capture cycles from the fault model.
+CoreTestEnvelope core_envelope(std::string label, const CircuitProfile& profile,
+                               const FlowResult& result);
+
+/// One evaluated wrapper configuration of a core.
+struct WrapperDesign {
+  int width = 1;                 ///< TAM lines / wrapper scan chains
+  std::int64_t scan_in = 0;      ///< s_i: longest scan-in path
+  std::int64_t scan_out = 0;     ///< s_o: longest scan-out path
+  std::int64_t test_cycles = 0;  ///< T(width)
+};
+
+/// Balanced wrapper design of `core` at exactly `width` TAM lines
+/// (width >= 1; chains beyond the FF supply end up IO-only).
+WrapperDesign design_wrapper(const CoreTestEnvelope& core, int width);
+
+/// Pareto-optimal wrapper set for widths 1..max_width: ascending width,
+/// strictly decreasing test_cycles (width w is kept only when it beats
+/// every narrower wrapper). Never empty for max_width >= 1.
+std::vector<WrapperDesign> pareto_wrappers(const CoreTestEnvelope& core, int max_width);
+
+}  // namespace tpi

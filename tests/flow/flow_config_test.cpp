@@ -287,6 +287,64 @@ TEST(FlowConfigTest, RejectsUnknownKeysAndBadTypes) {
   EXPECT_EQ(cfg.profile, "sentinel");
 }
 
+TEST(FlowConfigTest, SocKnobsParseRoundTripAndReadEnv) {
+  const FlowConfig base;
+  FlowConfig cfg;
+  std::string error;
+  ASSERT_TRUE(FlowConfig::from_json(
+      "{\"soc\": {\"cores\": 8, \"tam_width\": 16, \"schedule\": \"serial\"}}", base,
+      cfg, &error))
+      << error;
+  EXPECT_EQ(cfg.soc.cores, 8);
+  EXPECT_EQ(cfg.soc.tam_width, 16);
+  EXPECT_EQ(cfg.soc.schedule, "serial");
+
+  FlowConfig back;
+  ASSERT_TRUE(FlowConfig::from_json(cfg.to_json(), FlowConfig{}, back, &error)) << error;
+  EXPECT_EQ(back.soc, cfg.soc);
+
+  // SOC mode off => the "soc" key never appears (ledger fingerprints and
+  // baseline JSON of single-core configs stay byte-identical).
+  EXPECT_EQ(FlowConfig{}.to_json().find("\"soc\""), std::string::npos);
+
+  const ScopedEnv e1("TPI_SOC_CORES", "12");
+  const ScopedEnv e2("TPI_SOC_TAM_WIDTH", "64");
+  const ScopedEnv e3("TPI_SOC_SCHEDULE", "serial");
+  const FlowConfig env = FlowConfig::from_env();
+  EXPECT_EQ(env.soc.cores, 12);
+  EXPECT_EQ(env.soc.tam_width, 64);
+  EXPECT_EQ(env.soc.schedule, "serial");
+  // Invalid env values warn and keep the base, like every other TPI_* knob.
+  const ScopedEnv e4("TPI_SOC_CORES", "-3");
+  const ScopedEnv e5("TPI_SOC_SCHEDULE", "greedy");
+  const FlowConfig env2 = FlowConfig::from_env();
+  EXPECT_EQ(env2.soc.cores, 0);
+  EXPECT_EQ(env2.soc.schedule, "diagonal");
+}
+
+TEST(FlowConfigTest, RejectsMalformedSocBlocks) {
+  const FlowConfig base;
+  FlowConfig cfg;
+  cfg.soc.cores = 77;  // sentinel: failed parses must not touch the output
+  std::string error;
+  EXPECT_FALSE(FlowConfig::from_json("{\"soc\": 3}", base, cfg, &error));
+  EXPECT_NE(error.find("\"soc\""), std::string::npos);
+  EXPECT_NE(error.find("expected an object"), std::string::npos);
+  EXPECT_FALSE(FlowConfig::from_json("{\"soc\": {\"coers\": 4}}", base, cfg, &error));
+  EXPECT_NE(error.find("unknown key \"coers\""), std::string::npos);
+  EXPECT_FALSE(
+      FlowConfig::from_json("{\"soc\": {\"cores\": \"four\"}}", base, cfg, &error));
+  EXPECT_FALSE(FlowConfig::from_json("{\"soc\": {\"cores\": -1}}", base, cfg, &error));
+  EXPECT_FALSE(
+      FlowConfig::from_json("{\"soc\": {\"tam_width\": 0}}", base, cfg, &error));
+  EXPECT_FALSE(
+      FlowConfig::from_json("{\"soc\": {\"tam_width\": 1.5}}", base, cfg, &error));
+  EXPECT_FALSE(
+      FlowConfig::from_json("{\"soc\": {\"schedule\": \"greedy\"}}", base, cfg, &error));
+  EXPECT_NE(error.find("\"diagonal\" or \"serial\""), std::string::npos);
+  EXPECT_EQ(cfg.soc.cores, 77);
+}
+
 TEST(FlowConfigTest, ToJsonRoundTrips) {
   FlowConfig cfg;
   cfg.profile = "p26909";

@@ -119,6 +119,20 @@ TEST(SweepRunnerTest, MergedMetricsDeterministicAcrossJobCounts) {
   EXPECT_LE(net_len->hist.quantile(0.95), net_len->hist.quantile(0.99));
 }
 
+// Trace-file names must be injective in the label: the old '/'-to-'_'
+// mapping sent "s38417/tp=2" and "s38417_tp=2" to the same file, silently
+// clobbering one cell's trace with the other's.
+TEST(SweepRunnerTest, SanitizeTraceLabelIsCollisionFree) {
+  EXPECT_EQ(sanitize_trace_label("s38417/tp=2"), "s38417_2ftp=2");
+  EXPECT_EQ(sanitize_trace_label("s38417_tp=2"), "s38417_5ftp=2");
+  EXPECT_NE(sanitize_trace_label("s38417/tp=2"), sanitize_trace_label("s38417_tp=2"));
+  EXPECT_NE(sanitize_trace_label("a b"), sanitize_trace_label("a/b"));
+  EXPECT_NE(sanitize_trace_label("a b"), sanitize_trace_label("a_b"));
+  // Safe characters pass through verbatim; escapes are lowercase hex.
+  EXPECT_EQ(sanitize_trace_label("tiny.tp=0-v2"), "tiny.tp=0-v2");
+  EXPECT_EQ(sanitize_trace_label("soc=8/tam=32/tp=1"), "soc=8_2ftam=32_2ftp=1");
+}
+
 // Per-cell flight recorders + the run ledger: every sweep cell writes its
 // own Chrome trace under SweepOptions::trace_dir and appends one ledger
 // line, in submission order, with a deterministic flow payload.
@@ -143,11 +157,9 @@ TEST(SweepRunnerTest, TraceDirAndLedgerRecordEveryCell) {
   SweepRunner(opts).run(lib(), jobs);
 
   for (const SweepJob& job : jobs) {
-    std::string file = job.label;  // "tiny/tp=0" -> "tiny_tp=0.trace.json"
-    for (char& c : file) {
-      if (c == '/' || c == '\\' || c == ' ') c = '_';
-    }
-    const std::string path = trace_dir + "/" + file + ".trace.json";
+    // "tinyA/tp=0" -> "tinyA_2ftp=0.trace.json" (sanitize_trace_label).
+    const std::string path =
+        trace_dir + "/" + sanitize_trace_label(job.label) + ".trace.json";
     std::FILE* f = std::fopen(path.c_str(), "rb");
     ASSERT_NE(f, nullptr) << path;
     std::string contents;

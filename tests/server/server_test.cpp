@@ -16,7 +16,7 @@
 
 #include "../common/test_circuits.hpp"
 #include "server/client.hpp"
-#include "server/design_cache.hpp"
+#include "circuits/design_cache.hpp"
 #include "util/json.hpp"
 
 namespace tpi {
